@@ -1,0 +1,170 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. METG efficiency threshold: §4 argues 50% over "values above 90% [that]
+   can misrepresent" and over empty-task throughput (METG(0%)).
+2. STF double-buffering (``nb_fields``): in-place semantics over-serialize.
+3. Work stealing: helps under imbalance, costs at tiny granularity.
+4. Barrier: the bulk-sync/p2p gap grows with node count.
+"""
+
+import pytest
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.metg import SimRunner, compute_workload, metg
+from repro.runtimes import DataflowExecutor
+from repro.sim import ARIES, IDEAL, MachineSpec, get_system, simulate
+
+
+class TestMETGThreshold:
+    """METG(x) sensitivity: the threshold choice matters."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return SimRunner("mpi_p2p", MachineSpec(nodes=1, cores_per_node=4))
+
+    def test_threshold_sweep(self, benchmark, runner):
+        wl = compute_workload(runner.worker_width, steps=20)
+
+        def sweep():
+            return {
+                t: metg(runner, wl, target_efficiency=t).metg_seconds
+                for t in (0.1, 0.5, 0.9)
+            }
+
+        vals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert vals[0.1] < vals[0.5] < vals[0.9]
+        # §4: high thresholds blow up the requirement disproportionately —
+        # 90% demands far more than 1.8x the 50% granularity.
+        assert vals[0.9] / vals[0.5] > 3
+
+    def test_metg0_rewards_empty_tasks(self, runner):
+        """Tasks-per-second limit studies use trivially parallel (empty)
+        tasks; §4/§5.5 argue this understates the granularity real
+        dependence patterns need.  Compare the empty-task near-0%%
+        granularity against METG(50%%) of the stencil."""
+        from repro.core import DependenceType
+
+        trivial = compute_workload(runner.worker_width, steps=20,
+                                   dependence=DependenceType.TRIVIAL)
+        stencil = compute_workload(runner.worker_width, steps=20)
+        empty_task_floor = metg(runner, trivial,
+                                target_efficiency=0.01).metg_seconds
+        useful = metg(runner, stencil, target_efficiency=0.5).metg_seconds
+        assert useful / empty_task_floor > 5
+
+
+class TestNbFieldsAblation:
+    """nb_fields=1 forces within-timestep serialization in the STF runtime;
+    nb_fields=2 (the official shims' double buffering) pipelines across
+    timesteps.
+
+    Wall-clock cannot show this on a GIL-bound single-core host, so the
+    ablation measures the *structure*: the critical-path length of the DAG
+    the scheduler infers.  Double buffering keeps the critical path at
+    ~timesteps; in-place semantics chain columns within each timestep."""
+
+    STEPS, WIDTH = 20, 6
+
+    def _critical_path(self, nb_fields: int) -> int:
+        from repro.runtimes.dataflow import STFScheduler
+
+        g = TaskGraph(
+            timesteps=self.STEPS,
+            max_width=self.WIDTH,
+            dependence=DependenceType.STENCIL_1D,
+        )
+        sched = STFScheduler(workers=1)
+        # Discovery only: no workers are started, so the inferred edge
+        # structure survives in _successors for inspection.
+        order = []
+        for t, i in g.points():
+            reads = (
+                [(0, j, (t - 1) % nb_fields) for j in g.dependency_points(t, i)]
+                if t
+                else []
+            )
+            sched.submit((0, t, i), reads, (0, i, t % nb_fields), lambda: None)
+            order.append((0, t, i))
+        preds = {k: set() for k in order}
+        for src, succs in sched._successors.items():
+            for dst in succs:
+                preds[dst].add(src)
+        depth = {}
+        for k in order:  # submission order is topological
+            depth[k] = 1 + max((depth[p] for p in preds[k]), default=0)
+        return max(depth.values())
+
+    def test_in_place_semantics_serialize(self, benchmark):
+        cp2 = benchmark.pedantic(
+            self._critical_path, args=(2,), rounds=1, iterations=1
+        )
+        cp1 = self._critical_path(1)
+        # double-buffered: critical path ~ timesteps (+1 for the WAW chain)
+        assert cp2 <= self.STEPS + 2
+        # in-place: columns chain within timesteps -> much longer path
+        assert cp1 > cp2 * 2, f"in-place cp={cp1} vs double-buffered cp={cp2}"
+
+    def test_executions_identical_results(self):
+        """Both configurations compute the same (validated) graphs."""
+        g = TaskGraph(timesteps=8, max_width=4,
+                      dependence=DependenceType.STENCIL_1D,
+                      kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND,
+                                    iterations=4))
+        r1 = DataflowExecutor(workers=2, nb_fields=1).run([g])
+        r2 = DataflowExecutor(workers=2, nb_fields=2).run([g])
+        assert r1.total_tasks == r2.total_tasks == 32
+
+
+class TestWorkStealingAblation:
+    def test_stealing_tradeoff(self, benchmark):
+        """Stealing wins under imbalance at large granularity and does not
+        win at small granularity (paper §5.7)."""
+        machine = MachineSpec(nodes=1, cores_per_node=8)
+        chapel = get_system("chapel")
+        distrib = get_system("chapel_distrib")
+
+        def run(model, iters):
+            gs = [
+                TaskGraph(
+                    timesteps=15,
+                    max_width=8,
+                    dependence=DependenceType.NEAREST,
+                    radix=5,
+                    kernel=Kernel(
+                        kernel_type=KernelType.LOAD_IMBALANCE,
+                        iterations=iters,
+                        imbalance=1.0,
+                    ),
+                    graph_index=k,
+                )
+                for k in range(4)
+            ]
+            return simulate(gs, machine, model, IDEAL).elapsed_seconds
+
+        big = benchmark.pedantic(
+            lambda: (run(chapel, 100000), run(distrib, 100000)),
+            rounds=1, iterations=1,
+        )
+        assert big[1] < big[0]  # stealing wins at large granularity
+        small = (run(chapel, 10), run(distrib, 10))
+        assert small[1] >= small[0] * 0.95  # and does not win at tiny tasks
+
+
+class TestBarrierAblation:
+    def test_barrier_cost_grows_with_nodes(self, benchmark):
+        def gap(nodes):
+            machine = MachineSpec(nodes=nodes, cores_per_node=4)
+            g = TaskGraph(
+                timesteps=20,
+                max_width=4 * nodes,
+                dependence=DependenceType.STENCIL_1D,
+                kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=100),
+            )
+            bulk = simulate([g], machine, get_system("mpi_bulk_sync"), ARIES)
+            p2p = simulate([g], machine, get_system("mpi_p2p"), ARIES)
+            return bulk.elapsed_seconds - p2p.elapsed_seconds
+
+        gaps = benchmark.pedantic(
+            lambda: [gap(n) for n in (2, 16, 64)], rounds=1, iterations=1
+        )
+        assert gaps[0] < gaps[-1]

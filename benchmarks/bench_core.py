@@ -1,0 +1,63 @@
+"""Core-library microbenchmarks: kernels, dependence enumeration,
+validation — the building blocks every figure rests on."""
+
+import numpy as np
+
+from repro.core import (
+    DependenceType,
+    Kernel,
+    KernelType,
+    TaskGraph,
+    execute_kernel_compute,
+    execute_kernel_memory,
+)
+from repro.core.validation import expected_inputs, task_output, validate_inputs
+
+
+def test_compute_kernel_rate(benchmark):
+    """Calibrates this host's compute-kernel rate (Listing 1 loop)."""
+    benchmark(execute_kernel_compute, 1000)
+
+
+def test_memory_kernel_rate(benchmark):
+    scratch = np.zeros(1 << 20, dtype=np.uint8)
+    benchmark(execute_kernel_memory, scratch, 64, 4096)
+
+
+def test_dependence_enumeration_stencil(benchmark):
+    g = TaskGraph(timesteps=64, max_width=64,
+                  dependence=DependenceType.STENCIL_1D)
+
+    def enumerate_all():
+        return sum(g.num_dependencies(t, i) for t, i in g.points())
+
+    assert benchmark(enumerate_all) == g.total_dependencies()
+
+
+def test_dependence_enumeration_random(benchmark):
+    g = TaskGraph(timesteps=32, max_width=32,
+                  dependence=DependenceType.RANDOM_NEAREST, radix=5,
+                  fraction_connected=0.5)
+    benchmark(lambda: sum(g.num_dependencies(t, i) for t, i in g.points()))
+
+
+def test_task_output_generation(benchmark):
+    g = TaskGraph(timesteps=4, max_width=4, output_bytes_per_task=4096)
+    benchmark(task_output, g, 2, 2)
+
+
+def test_input_validation(benchmark):
+    g = TaskGraph(timesteps=4, max_width=8,
+                  dependence=DependenceType.STENCIL_1D,
+                  output_bytes_per_task=256)
+    inputs = expected_inputs(g, 2, 4)
+    benchmark(validate_inputs, g, 2, 4, inputs)
+
+
+def test_execute_point_end_to_end(benchmark):
+    g = TaskGraph(
+        timesteps=4, max_width=8, dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=16),
+    )
+    inputs = expected_inputs(g, 2, 4)
+    benchmark(g.execute_point, 2, 4, inputs)

@@ -1,0 +1,77 @@
+"""Extension study: persistent load imbalance (paper §5.7 future work).
+
+"We leave analysis of persistent load imbalance to future work."  This
+bench runs that analysis on the simulator substrate: the same Figure 12
+setup with the per-task multiplier drawn per *column* instead of per
+(timestep, column).
+
+Findings (asserted): asynchrony alone mitigates non-persistent imbalance
+(per-core work averages over timesteps) but not persistent imbalance (the
+slow columns bottleneck their cores forever); work stealing / migration
+recovers the persistent case.
+"""
+
+import pathlib
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.sim import IDEAL, MachineSpec, get_system, simulate
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+MACHINE = MachineSpec(nodes=1, cores_per_node=8)
+
+
+def _graphs(persistent: bool):
+    kernel = Kernel(
+        kernel_type=KernelType.LOAD_IMBALANCE,
+        iterations=100_000,
+        imbalance=1.0,
+        persistent=persistent,
+    )
+    return [
+        TaskGraph(
+            timesteps=30,
+            max_width=8,
+            dependence=DependenceType.NEAREST,
+            radix=5,
+            kernel=kernel,
+            graph_index=k,
+        )
+        for k in range(4)
+    ]
+
+
+def _efficiency(system: str, persistent: bool) -> float:
+    model = get_system(system).with_(runtime_cores_per_node=0)
+    r = simulate(_graphs(persistent), MACHINE, model, IDEAL)
+    return r.flops_per_second / MACHINE.peak_flops
+
+
+def test_persistent_imbalance_study(benchmark):
+    def study():
+        rows = {}
+        for system in ("mpi_bulk_sync", "charmpp", "chapel_distrib"):
+            rows[system] = (
+                _efficiency(system, persistent=False),
+                _efficiency(system, persistent=True),
+            )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    RESULTS.mkdir(exist_ok=True)
+    lines = [
+        "persistent vs non-persistent imbalance "
+        "(nearest r5, 4 graphs, 1 node x 8 cores, large tasks)",
+        f"{'system':>16s} {'uniform':>9s} {'persistent':>11s}",
+    ]
+    for system, (u, p) in rows.items():
+        lines.append(f"{system:>16s} {u:>8.1%} {p:>10.1%}")
+    (RESULTS / "ext_persistent_imbalance.txt").write_text("\n".join(lines) + "\n")
+
+    # Asynchrony mitigates uniform imbalance but loses that edge when the
+    # imbalance is persistent...
+    assert rows["charmpp"][0] > rows["charmpp"][1]
+    # ...while work stealing retains most of its advantage.
+    assert rows["chapel_distrib"][1] > rows["charmpp"][1]
+    # The bulk-synchronous model is bad in both regimes.
+    assert rows["mpi_bulk_sync"][0] <= rows["charmpp"][0] * 1.05

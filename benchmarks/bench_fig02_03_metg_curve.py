@@ -1,0 +1,35 @@
+"""Figures 2-3: the METG construction (MPI, stencil, 1 node).
+
+Paper: FLOP/s falls off as problem size shrinks (Fig 2); replotted as
+efficiency vs task granularity the curve crosses 50% at METG(50%) = 4.6 us
+for MPI (Fig 3)."""
+
+from repro.analysis import figure2_3
+from repro.metg import SimRunner, compute_workload, metg
+from repro.sim import CORI_HASWELL
+
+
+def test_fig2_fig3_curves(benchmark, cfg, save_figure):
+    figs = benchmark.pedantic(figure2_3, args=(cfg,), rounds=1, iterations=1)
+    flops, eff = figs["flops"], figs["efficiency"]
+    save_figure(flops)
+    save_figure(eff)
+
+    s = flops.get("mpi_p2p")
+    # Fig 2 shape: monotone rise to a plateau near machine peak.
+    assert s.y == sorted(s.y)
+    assert s.y[-1] > 0.9 * cfg.machine(1).peak_flops
+    # Fig 3 shape: efficiency spans ~0 to ~1 across the sweep.
+    e = eff.get("mpi_p2p")
+    assert min(e.y) < 0.1 and max(e.y) > 0.9
+
+
+def test_metg_matches_paper_value(benchmark):
+    """Paper §4: MPI p2p METG(50%) = 4.6 us (stencil, 1 Cori node)."""
+
+    def run():
+        runner = SimRunner("mpi_p2p", CORI_HASWELL)
+        return metg(runner, compute_workload(runner.worker_width, steps=50))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 3.0 < res.metg_microseconds < 7.0

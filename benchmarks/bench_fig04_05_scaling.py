@@ -1,0 +1,58 @@
+"""Figures 4-5: MPI weak and strong scaling (stencil).
+
+Paper: large per-task sizes weak-scale flat and strong-scale ideally; small
+sizes compress against the overhead floor; the floor's shape follows the
+METG curve (§4)."""
+
+from repro.analysis import figure4, figure5
+from repro.metg import strong_scaling, strong_scaling_limit_nodes
+from repro.sim import get_system
+
+
+def test_fig4_weak_scaling(benchmark, cfg, save_figure):
+    fig = benchmark.pedantic(
+        figure4, args=(cfg,), kwargs={"sizes": (8, 512, 32768)},
+        rounds=1, iterations=1,
+    )
+    save_figure(fig)
+    large = fig.get("iters=32768")
+    small = fig.get("iters=8")
+    # flat at the top...
+    assert max(large.y) / min(large.y) < 1.3
+    # ...rising at the bottom (overhead floor)
+    assert small.y[-1] > small.y[0] * 1.5
+    # lines compress: the sweep's dynamic range shrinks with node count
+    spread_first = large.y[0] / small.y[0]
+    spread_last = large.y[-1] / small.y[-1]
+    assert spread_last < spread_first
+
+
+def test_fig5_strong_scaling(benchmark, cfg, save_figure):
+    fig = benchmark.pedantic(figure5, args=(cfg,), rounds=1, iterations=1)
+    save_figure(fig)
+    big = fig.series[-1]
+    # ideally-sloped at the top: near-linear speedup across the sweep
+    speedup = big.y[0] / big.y[-1]
+    nodes_ratio = big.x[-1] / big.x[0]
+    assert speedup > 0.5 * nodes_ratio
+    # the smallest problem stops scaling
+    small = fig.series[0]
+    assert small.y[-1] > 0.5 * small.y[0]
+
+
+def test_strong_scaling_stops_at_metg(cfg):
+    """§4: 'METG corresponds to the point at which strong scaling can be
+    expected to stop'."""
+    model = get_system("mpi_p2p")
+    workers = model.worker_cores_per_node(cfg.cores_per_node)
+    total = workers * cfg.steps * 2000
+    pts = strong_scaling(
+        model, list(cfg.node_counts), total,
+        machine=cfg.machine(), network=cfg.network, steps=cfg.steps,
+    )
+    limit = strong_scaling_limit_nodes(pts)
+    assert 0 < limit <= max(cfg.node_counts)
+    # beyond the limit, granularity is below the 1-node METG scale
+    beyond = [p for p in pts if p.nodes > limit]
+    if beyond:
+        assert beyond[0].efficiency < 0.5

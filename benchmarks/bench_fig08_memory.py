@@ -1,0 +1,31 @@
+"""Figure 8: B/s vs problem size with the memory-bound kernel (stencil,
+1 node).
+
+Paper claims checked: throughput saturates at the measured node bandwidth
+(79 GB/s on Cori); unlike the compute case, "not all cores are required to
+saturate memory bandwidth, reducing the impact of reserving cores" — most
+systems hit 100% of peak."""
+
+from repro.analysis import figure8
+
+
+def test_fig8_memory_throughput(benchmark, cfg, save_figure):
+    systems = ("mpi_p2p", "mpi_bulk_sync", "charmpp", "realm", "starpu")
+    fig = benchmark.pedantic(
+        figure8, args=(cfg,), kwargs={"systems": systems},
+        rounds=1, iterations=1,
+    )
+    save_figure(fig)
+    peak = cfg.machine(1).peak_bytes_per_second
+
+    for s in fig.series:
+        # monotone rise to (near) the bandwidth ceiling, never above it
+        assert s.y == sorted(s.y), s.label
+        assert s.y[-1] <= peak * 1.001, s.label
+
+    # MPI saturates the full measured bandwidth.
+    assert fig.get("mpi_p2p").y[-1] > 0.9 * peak
+
+    # Core-reserving systems still reach (nearly) full bandwidth: the hit
+    # is smaller than in the compute-bound case (paper §5.2).
+    assert fig.get("realm").y[-1] > 0.85 * peak

@@ -1,0 +1,148 @@
+"""Figure 9: METG(50%) vs node count for four dependence configurations —
+the paper's headline scalability study (§5.3-5.4).
+
+Claims checked:
+  * overheads across systems span >= 4-5 orders of magnitude;
+  * the best systems' METG rises roughly an order of magnitude from 1 node
+    to the largest node count;
+  * Spark's centralized controller makes its METG rise immediately;
+  * PaRSEC shard (no dynamic checks) scales better than DTD;
+  * MPI's advantage shrinks as pattern complexity grows, and reverses
+    under task parallelism (4 graphs) where async systems overlap.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import figure9
+
+# A representative subset keeps the default-scale harness fast; paper scale
+# (REPRO_BENCH_SCALE=paper) still uses this subset — pass cfg.systems=None
+# through FigureConfig to sweep all 15.
+SUBSET = (
+    "mpi_p2p", "mpi_bulk_sync", "charmpp", "realm", "regent",
+    "parsec_dtd", "parsec_shard", "spark",
+)
+
+
+@pytest.fixture(scope="module")
+def fig9a(cfg):
+    return figure9("a", cfg.with_(systems=SUBSET))
+
+
+def test_fig9a_stencil(benchmark, cfg, save_figure):
+    fig = benchmark.pedantic(
+        figure9, args=("a", cfg.with_(systems=SUBSET)), rounds=1, iterations=1
+    )
+    save_figure(fig)
+
+    mpi = fig.get("mpi_p2p")
+    # ~order-of-magnitude METG growth for the best system at scale (§5.4)
+    growth = mpi.y[-1] / mpi.y[0]
+    assert growth > 3, f"MPI METG grew only {growth:.1f}x"
+
+    # overhead spectrum: several orders of magnitude at 1 node even at
+    # reduced machine scale (the full 5-orders claim is checked against
+    # MPI's 0-dependency METG in test_five_orders_of_magnitude below)
+    at_one_node = {
+        s.label: s.y[0] for s in fig.series if s.x and s.x[0] == 1.0
+    }
+    span = max(at_one_node.values()) / min(at_one_node.values())
+    assert span > 3e3, f"overhead span only {span:.1e}"
+
+    # Spark rises immediately with node count (§5.4)
+    spark = fig.get("spark")
+    if len(spark.y) >= 2:
+        assert spark.y[1] > 1.5 * spark.y[0]
+
+    # PaRSEC shard beats DTD at the largest node count (§5.4)
+    dtd, shard = fig.get("parsec_dtd"), fig.get("parsec_shard")
+    assert shard.y[-1] < dtd.y[-1]
+
+
+def test_fig9b_nearest(benchmark, cfg, save_figure):
+    fig = benchmark.pedantic(
+        figure9, args=("b", cfg.with_(systems=("mpi_p2p", "charmpp", "realm"))),
+        rounds=1, iterations=1,
+    )
+    save_figure(fig)
+    # 5 dependencies cost more than the 3-dependency stencil for MPI
+    fig_a = figure9("a", cfg.with_(systems=("mpi_p2p",)))
+    assert fig.get("mpi_p2p").y[0] > fig_a.get("mpi_p2p").y[0]
+
+
+def test_fig9c_spread(benchmark, cfg, save_figure):
+    fig = benchmark.pedantic(
+        figure9, args=("c", cfg.with_(systems=("mpi_p2p", "charmpp", "realm"))),
+        rounds=1, iterations=1,
+    )
+    save_figure(fig)
+    # spread reaches across the machine: METG at scale exceeds the
+    # neighbourly nearest pattern's
+    fig_b = figure9("b", cfg.with_(systems=("mpi_p2p",)))
+    assert fig.get("mpi_p2p").y[-1] >= fig_b.get("mpi_p2p").y[-1] * 0.9
+
+
+def test_fig9d_task_parallelism_shrinks_mpi_gap(benchmark, cfg, save_figure):
+    """§5.3: "the gap between MPI and other systems shrinks as complexity
+    grows, and even reverses as task parallelism is added"."""
+    systems = ("mpi_p2p", "charmpp", "realm")
+    fig_d = benchmark.pedantic(
+        figure9, args=("d", cfg.with_(systems=systems)), rounds=1, iterations=1
+    )
+    save_figure(fig_d)
+    fig_b = figure9("b", cfg.with_(systems=systems))
+
+    def gap(fig, other):
+        mpi, o = fig.get("mpi_p2p"), fig.get(other)
+        return o.y[-1] / mpi.y[-1]  # >1: MPI ahead; <1: MPI behind
+
+    # with 4 graphs the async systems close on (or pass) MPI at scale
+    assert gap(fig_d, "charmpp") < gap(fig_b, "charmpp")
+
+
+def test_five_orders_of_magnitude(benchmark):
+    """§1: "the overheads of the systems we examine vary by more than five
+    orders of magnitude" — from MPI's 390 ns best case (trivial
+    dependencies, 1 node) to the data-analytics systems' 100+ ms."""
+    from repro.core import DependenceType
+    from repro.metg import SimRunner, compute_workload, metg
+    from repro.sim import CORI_HASWELL
+
+    def spans():
+        mpi = SimRunner("mpi_p2p", CORI_HASWELL)
+        best = metg(
+            mpi,
+            compute_workload(mpi.worker_width, steps=30,
+                             dependence=DependenceType.NEAREST, radix=0),
+        ).metg_seconds
+        spark = SimRunner("spark", CORI_HASWELL)
+        worst = metg(
+            spark, compute_workload(spark.worker_width, steps=10)
+        ).metg_seconds
+        return best, worst
+
+    best, worst = benchmark.pedantic(spans, rounds=1, iterations=1)
+    assert worst / best > 1e5, f"span only {worst / best:.1e}"
+
+
+def test_100us_bound_claim(fig9a):
+    """§1/§7: "100 us is a reasonable bound for most applications running
+    at scale with current technologies" — at the largest node count, even
+    the most efficient system's METG approaches/exceeds tens of us, and no
+    system beats ~1 us at scale."""
+    largest = {}
+    for s in fig9a.series:
+        if s.x:
+            largest[s.label] = s.y[-1]  # seconds
+    best = min(largest.values())
+    assert best * 1e6 > 1.0, "no system should beat ~1 us at scale"
+
+
+def test_metg_values_monotone_overall(fig9a):
+    for s in fig9a.series:
+        if len(s.y) >= 2:
+            assert s.y[-1] >= s.y[0] * 0.8, f"{s.label} METG should not improve at scale"
+        for v in s.y:
+            assert math.isfinite(v) and v > 0

@@ -1,0 +1,37 @@
+"""Figure 13: GPU FLOP/s vs normalized problem size (MPI vs MPI+CUDA w1/w4
+on a Piz Daint-like node).
+
+Paper claims checked (§5.8): the GPU requires more work to achieve high
+performance; copy overhead dominates at small task granularities where the
+CPU wins; w4 achieves higher FLOP/s than w1 but drops more rapidly at small
+problem sizes."""
+
+from repro.analysis import figure13
+from repro.sim import PIZ_DAINT, crossover_problem_size
+
+
+def test_fig13_gpu_offload(benchmark, save_figure):
+    fig = benchmark.pedantic(figure13, rounds=1, iterations=1)
+    save_figure(fig)
+
+    cpu = fig.get("mpi_cpu")
+    w1 = fig.get("mpi_cuda_w1")
+    w4 = fig.get("mpi_cuda_w4")
+
+    # CPU wins at the smallest problem sizes.
+    assert cpu.y[0] > w1.y[0] > w4.y[0]
+
+    # GPU wins at the largest; w4 above w1 asymptotically.
+    assert w4.y[-1] > w1.y[-1] > cpu.y[-1]
+    assert w4.y[-1] > 0.95 * PIZ_DAINT.gpu_flops
+
+    # w4 "drops more rapidly": at small sizes it is below w1.
+    assert w4.y[0] < w1.y[0]
+
+    # a finite CPU/GPU crossover exists inside the sweep
+    x = crossover_problem_size()
+    assert cpu.x[0] < x < cpu.x[-1]
+
+    # measured peaks match the paper's reported rates
+    assert abs(PIZ_DAINT.gpu_flops - 4.759e12) / 4.759e12 < 0.01
+    assert abs(PIZ_DAINT.cpu_flops - 5.726e11) / 5.726e11 < 0.01

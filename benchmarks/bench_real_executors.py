@@ -1,0 +1,54 @@
+"""Real-executor throughput: the local, laptop-scale counterpart of
+Figures 6-7.
+
+Measures each runtime paradigm's task throughput and granularity on this
+host with the actual Python kernels.  Absolute numbers are Python-rate
+bound; the comparison across paradigms (inline serial cheapest per task,
+discovery/controller overhead visible) is the point."""
+
+import pytest
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.runtimes import available_runtimes, make_executor
+
+RUNTIMES = [r for r in available_runtimes() if r != "processes"]
+
+
+def _graph():
+    return TaskGraph(
+        timesteps=30,
+        max_width=4,
+        dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=8),
+        output_bytes_per_task=16,
+    )
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+def test_executor_throughput(benchmark, runtime):
+    ex = make_executor(runtime, workers=2)
+    g = _graph()
+    result = benchmark(lambda: ex.run([g]))
+    assert result.total_tasks == g.total_tasks()
+
+
+def test_serial_has_lowest_per_task_overhead():
+    """The inline serial executor is the Python-level overhead floor —
+    the analogue of MPI's position in Figure 7."""
+    import time
+
+    g = _graph()
+
+    def best_time(runtime):
+        ex = make_executor(runtime, workers=2)
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            ex.run([g])
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    serial = best_time("serial")
+    # schedulers with discovery/dispatch machinery pay more per task
+    assert serial <= best_time("centralized") * 1.1
+    assert serial <= best_time("dataflow") * 1.1

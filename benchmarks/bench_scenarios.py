@@ -1,0 +1,75 @@
+"""Application-scenario suite: efficiency of contrasting runtime models on
+every named application shape (paper §1's motivation, quantified).
+
+Not a paper figure — a synthesis bench exercising the full scenario
+catalog.  Asserts the cross-cutting conclusions: embarrassing parallelism
+is easy for everyone; communication-bearing shapes separate low-overhead
+phased systems from async systems from controller-bound ones; the
+persistent-imbalance (AMR) shape rewards work stealing.
+"""
+
+import pathlib
+
+from repro.core import SCENARIOS
+from repro.sim import ARIES, MachineSpec, get_system, simulate
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+SYSTEMS = ("mpi_p2p", "charmpp", "chapel_distrib", "spark")
+
+
+def _run_suite():
+    rows = {}
+    for name in sorted(SCENARIOS):
+        rows[name] = {}
+        for system in SYSTEMS:
+            model = get_system(system).with_(runtime_cores_per_node=0)
+            graphs = SCENARIOS[name](width=16, steps=20)
+            r = simulate(graphs, MACHINE, model, ARIES)
+            rows[name][system] = r.flops_per_second / MACHINE.peak_flops
+    return rows
+
+
+def test_scenario_suite(benchmark):
+    rows = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+
+    RESULTS.mkdir(exist_ok=True)
+    lines = [f"{'scenario':>24s} " + " ".join(f"{s:>15s}" for s in SYSTEMS)]
+    for name, cells in rows.items():
+        lines.append(
+            f"{name:>24s} " + " ".join(f"{cells[s]:>14.1%} " for s in SYSTEMS)
+        )
+    (RESULTS / "scenario_suite.txt").write_text("\n".join(lines) + "\n")
+
+    # Trivial parallelism: every HPC-class system near peak.
+    ep = rows["embarrassingly_parallel"]
+    assert ep["mpi_p2p"] > 0.95 and ep["charmpp"] > 0.9
+
+    # Controller-bound Spark is only viable on the trivial shape (and even
+    # there needs far larger tasks than this suite uses).
+    for name, cells in rows.items():
+        assert cells["spark"] < 0.1, name
+
+    # Communication-bearing shapes run below the trivial shape for
+    # everything (communication + dependencies cost something).
+    for system in ("mpi_p2p", "charmpp"):
+        assert rows["halo_exchange"][system] < ep[system]
+
+    # At these (small) task sizes the stealing scheduler's overhead costs
+    # more than balance buys — the §5.7 small-granularity caveat.
+    assert rows["halo_exchange"]["chapel_distrib"] < rows["halo_exchange"]["mpi_p2p"]
+
+
+def test_amr_rewards_stealing_at_scale():
+    """With realistically large tasks, the AMR shape (persistent
+    imbalance) rewards the stealing scheduler over its non-stealing twin —
+    overhead no longer masks the balance benefit."""
+    graphs = SCENARIOS["amr_load_imbalance"](
+        width=16, steps=20, iterations=300_000
+    )
+    effs = {}
+    for system in ("chapel", "chapel_distrib"):
+        model = get_system(system).with_(runtime_cores_per_node=0)
+        r = simulate(graphs, MACHINE, model, ARIES)
+        effs[system] = r.flops_per_second / MACHINE.peak_flops
+    assert effs["chapel_distrib"] > effs["chapel"] * 1.1

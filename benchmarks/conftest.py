@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Every module regenerates one table/figure of the paper (see DESIGN.md §4).
+Benchmarks run at a reduced default scale so the whole harness finishes in
+minutes on a laptop; set ``REPRO_BENCH_SCALE=paper`` for full paper scale
+(32-core nodes, 256-node sweeps — substantially slower).
+
+Rendered tables are written to ``benchmarks/results/`` so runs leave an
+inspectable record (and EXPERIMENTS.md can be cross-checked against them).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    FigureConfig,
+    FigureData,
+    render_efficiency_summary,
+    render_series_table,
+    save_figure_json,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_config() -> FigureConfig:
+    """The scale used by all figure benchmarks."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return FigureConfig.paper()
+    return FigureConfig(
+        cores_per_node=4,
+        steps=12,
+        node_counts=(1, 4, 16, 64),
+        problem_sizes=tuple(8**e for e in range(8)),
+    )
+
+
+@pytest.fixture(scope="session")
+def cfg() -> FigureConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    """Persist a rendered figure table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(fig: FigureData) -> None:
+        path = RESULTS_DIR / f"{fig.figure_id}.txt"
+        text = render_series_table(fig)
+        if fig.ylabel == "efficiency":
+            text += "\n\n" + render_efficiency_summary(fig)
+        path.write_text(text + "\n")
+        save_figure_json(fig, RESULTS_DIR / f"{fig.figure_id}.json")
+
+    return save

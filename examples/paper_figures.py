@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation as text tables.
+
+Runs the full `repro.analysis` figure suite at a reduced machine scale
+(seconds to a few minutes of simulation) and prints each figure in the
+rendering the benchmark harness also writes to ``benchmarks/results/``.
+
+Run:  python examples/paper_figures.py [--fast] [--plot]
+
+``--plot`` additionally renders each figure as an ASCII log-log plot.
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    FigureConfig,
+    ascii_plot,
+    figure2_3,
+    figure4,
+    figure5,
+    figure6_7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    render_efficiency_summary,
+    render_series_table,
+)
+
+
+PLOT = False
+
+
+def show(fig) -> None:
+    print(render_series_table(fig))
+    if fig.ylabel == "efficiency":
+        print()
+        print(render_efficiency_summary(fig))
+    if PLOT:
+        print()
+        print(ascii_plot(fig, logy=fig.ylabel != "efficiency"))
+    print()
+
+
+def main() -> None:
+    global PLOT
+    PLOT = "--plot" in sys.argv
+    fast = "--fast" in sys.argv
+    cfg = FigureConfig(
+        cores_per_node=4,
+        steps=10 if fast else 20,
+        node_counts=(1, 4, 16) if fast else (1, 4, 16, 64),
+        problem_sizes=tuple(8**e for e in range(7 if fast else 8)),
+    )
+    subset = ("mpi_p2p", "mpi_bulk_sync", "charmpp", "realm", "regent",
+              "parsec_dtd", "parsec_shard", "starpu", "spark")
+    start = time.time()
+
+    figs23 = figure2_3(cfg)
+    show(figs23["flops"])
+    show(figs23["efficiency"])
+
+    show(figure4(cfg))
+    show(figure5(cfg))
+
+    figs67 = figure6_7(cfg.with_(systems=subset))
+    show(figs67["flops"])
+    show(figs67["efficiency"])
+
+    show(figure8(cfg, systems=("mpi_p2p", "charmpp", "realm")))
+
+    for sub in "abcd":
+        show(figure9(sub, cfg.with_(systems=subset[:6])))
+
+    show(figure10(cfg.with_(systems=subset[:5], cores_per_node=12)))
+
+    nodes = max(cfg.node_counts[:-1])
+    for payload in (16, 4096, 65536):
+        show(figure11(output_bytes=payload,
+                      cfg=cfg.with_(systems=("mpi_bulk_sync", "mpi_p2p",
+                                             "charmpp", "realm")),
+                      nodes=nodes))
+
+    show(figure12(cfg.with_(
+        systems=("mpi_bulk_sync", "mpi_p2p", "charmpp", "chapel",
+                 "chapel_distrib"),
+        cores_per_node=8,
+    )))
+
+    show(figure13())
+    print(f"all figures regenerated in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Task Bench — Python reproduction of Slaughter et al., SC 2020.
+
+A parameterized benchmark for evaluating parallel runtime performance.
+
+Subpackages
+-----------
+``repro.core``
+    The Task Bench core library: task graphs, dependence relations, kernels,
+    validation, configuration and metrics.
+``repro.runtimes``
+    Real single-host executors, one per runtime paradigm the paper studies.
+``repro.sim``
+    Discrete-event simulator substrate standing in for the Cori and
+    Piz Daint machines, with calibrated models of the 15+ studied systems.
+``repro.metg``
+    The METG (minimum effective task granularity) metric machinery.
+``repro.analysis``
+    Regeneration of every figure/table of the paper's evaluation.
+"""
+
+from .core import (
+    DependenceType,
+    Executor,
+    Kernel,
+    KernelType,
+    RunResult,
+    TaskGraph,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DependenceType",
+    "Executor",
+    "Kernel",
+    "KernelType",
+    "RunResult",
+    "TaskGraph",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Persistence of figure data as JSON.
+
+The benchmark harness archives every regenerated figure both as a rendered
+text table (human diffing) and as JSON (machine comparison across runs /
+scales).  The format is stable and self-describing::
+
+    {"figure_id": "fig9a", "title": ..., "xlabel": ..., "ylabel": ...,
+     "notes": ..., "series": [{"label": ..., "x": [...], "y": [...]}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .figures import FigureData, Series
+
+_PathLike = Union[str, pathlib.Path]
+
+#: Format marker stored alongside the data; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def figure_to_dict(fig: FigureData) -> dict:
+    """JSON-ready representation of a figure."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "xlabel": fig.xlabel,
+        "ylabel": fig.ylabel,
+        "notes": fig.notes,
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y)}
+            for s in fig.series
+        ],
+    }
+
+
+def figure_from_dict(data: dict) -> FigureData:
+    """Inverse of :func:`figure_to_dict`; validates the schema."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported figure schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    missing = {"figure_id", "title", "xlabel", "ylabel", "series"} - set(data)
+    if missing:
+        raise ValueError(f"figure JSON missing fields: {sorted(missing)}")
+    series = [
+        Series(label=s["label"], x=[float(v) for v in s["x"]],
+               y=[float(v) for v in s["y"]])
+        for s in data["series"]
+    ]
+    return FigureData(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        xlabel=data["xlabel"],
+        ylabel=data["ylabel"],
+        series=series,
+        notes=data.get("notes", ""),
+    )
+
+
+def save_figure_json(fig: FigureData, path: _PathLike) -> None:
+    """Write a figure to ``path`` as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(figure_to_dict(fig), indent=1, sort_keys=True) + "\n"
+    )
+
+
+def load_figure_json(path: _PathLike) -> FigureData:
+    """Read a figure previously saved by :func:`save_figure_json`."""
+    return figure_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def compare_figures(a: FigureData, b: FigureData, *, rel: float = 0.0) -> list:
+    """Differences between two archives of the same figure.
+
+    Returns a list of human-readable difference strings; empty means the
+    figures agree (within relative tolerance ``rel`` on y values at shared
+    x positions).  Used to compare runs across scales or code versions.
+    """
+    diffs = []
+    if a.figure_id != b.figure_id:
+        diffs.append(f"figure_id: {a.figure_id} != {b.figure_id}")
+    labels_a, labels_b = set(a.labels), set(b.labels)
+    for label in sorted(labels_a - labels_b):
+        diffs.append(f"series {label!r} only in first")
+    for label in sorted(labels_b - labels_a):
+        diffs.append(f"series {label!r} only in second")
+    for label in sorted(labels_a & labels_b):
+        sa, sb = a.get(label), b.get(label)
+        common = set(sa.x) & set(sb.x)
+        la, lb = dict(zip(sa.x, sa.y)), dict(zip(sb.x, sb.y))
+        for x in sorted(common):
+            ya, yb = la[x], lb[x]
+            scale = max(abs(ya), abs(yb), 1e-300)
+            if abs(ya - yb) / scale > rel:
+                diffs.append(
+                    f"{label} @ x={x:g}: {ya:g} vs {yb:g}"
+                )
+    return diffs

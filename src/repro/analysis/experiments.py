@@ -1,0 +1,218 @@
+"""Batch experiment grids: sweep systems × machines × patterns and collect
+results into a queryable table.
+
+The figure generators in :mod:`repro.analysis.figures` hard-code the
+paper's specific sweeps; this module is the general tool for *new*
+studies in the same style — define a grid, run it, then filter / pivot /
+export, or convert any slice into a :class:`~repro.analysis.figures.
+FigureData` for the plotting, reporting and archiving machinery.
+
+Example::
+
+    grid = ExperimentGrid(
+        systems=("mpi_p2p", "charmpp"),
+        node_counts=(1, 4, 16),
+        patterns=(PatternSpec(DependenceType.STENCIL_1D),
+                  PatternSpec(DependenceType.NEAREST, radix=5)),
+    )
+    table = run_grid(grid)
+    fig = table.filter(pattern="stencil_1d").to_figure(
+        x="nodes", series="system", y="metg_seconds")
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from ..core.types import DependenceType
+from ..metg.efficiency import compute_workload, measure
+from ..metg.metg import METGUnachievable, metg
+from ..metg.runners import SimRunner
+from ..sim.machine import MachineSpec
+from ..sim.network import ARIES, NetworkModel
+from .figures import FigureData, Series
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One dependence configuration of a grid."""
+
+    dependence: DependenceType
+    radix: int = 3
+    ngraphs: int = 1
+
+    @property
+    def label(self) -> str:
+        parts = [self.dependence.value]
+        if self.dependence in (DependenceType.NEAREST, DependenceType.SPREAD,
+                               DependenceType.RANDOM_NEAREST):
+            parts.append(f"r{self.radix}")
+        if self.ngraphs > 1:
+            parts.append(f"x{self.ngraphs}")
+        return "_".join(parts)
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A full sweep specification."""
+
+    systems: Sequence[str] = ("mpi_p2p",)
+    node_counts: Sequence[int] = (1,)
+    patterns: Sequence[PatternSpec] = (PatternSpec(DependenceType.STENCIL_1D),)
+    output_bytes: Sequence[int] = (16,)
+    steps: int = 20
+    cores_per_node: int = 4
+    network: NetworkModel = field(default=ARIES)
+    #: "metg" sweeps problem size per cell; "efficiency" runs one size.
+    measure: str = "metg"
+    iterations: int = 1024  # for measure="efficiency"
+    target_efficiency: float = 0.5  # for measure="metg"
+
+    def cells(self):
+        for system in self.systems:
+            for nodes in self.node_counts:
+                for pattern in self.patterns:
+                    for payload in self.output_bytes:
+                        yield system, nodes, pattern, payload
+
+
+def run_grid(grid: ExperimentGrid) -> "ResultTable":
+    """Run every cell of the grid on the simulator substrate.
+
+    Cells whose METG target is unachievable get ``value=None`` (the
+    paper's omitted-from-figure convention) rather than failing the grid.
+    """
+    if grid.measure not in ("metg", "efficiency"):
+        raise ValueError(f"unknown measure {grid.measure!r}")
+    rows: List[Dict] = []
+    for system, nodes, pattern, payload in grid.cells():
+        machine = MachineSpec(nodes=nodes, cores_per_node=grid.cores_per_node)
+        runner = SimRunner(system, machine, grid.network)
+        workload = compute_workload(
+            runner.worker_width,
+            steps=grid.steps,
+            dependence=pattern.dependence,
+            radix=pattern.radix,
+            ngraphs=pattern.ngraphs,
+            output_bytes=payload,
+        )
+        row: Dict = {
+            "system": system,
+            "nodes": nodes,
+            "pattern": pattern.label,
+            "output_bytes": payload,
+        }
+        if grid.measure == "metg":
+            try:
+                res = metg(runner, workload,
+                           target_efficiency=grid.target_efficiency,
+                           max_iterations=1 << 30)
+                row["metg_seconds"] = res.metg_seconds
+            except METGUnachievable:
+                row["metg_seconds"] = None
+        else:
+            m = measure(runner, workload, grid.iterations)
+            row["efficiency"] = m.efficiency
+            row["granularity_seconds"] = m.granularity_seconds
+        rows.append(row)
+    return ResultTable(rows)
+
+
+class ResultTable:
+    """A list of result rows with filter/pivot/export helpers."""
+
+    def __init__(self, rows: Sequence[Dict]) -> None:
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # -- querying ------------------------------------------------------
+    def filter(self, **criteria) -> "ResultTable":
+        """Rows whose fields equal the given values."""
+        return ResultTable(
+            [r for r in self.rows
+             if all(r.get(k) == v for k, v in criteria.items())]
+        )
+
+    def values(self, key: str) -> List:
+        """Distinct values of a field, in first-seen order."""
+        seen: List = []
+        for r in self.rows:
+            v = r.get(key)
+            if v not in seen:
+                seen.append(v)
+        return seen
+
+    def column(self, key: str) -> List:
+        """The field from every row (including None)."""
+        return [r.get(key) for r in self.rows]
+
+    # -- conversion ------------------------------------------------------
+    def to_figure(self, *, x: str, series: str, y: str,
+                  figure_id: str = "grid", title: str = "") -> FigureData:
+        """Pivot into a figure: one line per distinct ``series`` value,
+        skipping cells with ``None`` results."""
+        out = []
+        for label in self.values(series):
+            pts = sorted(
+                (float(r[x]), float(r[y]))
+                for r in self.rows
+                if r.get(series) == label and r.get(y) is not None
+            )
+            if pts:
+                out.append(Series(label=str(label),
+                                  x=[p[0] for p in pts],
+                                  y=[p[1] for p in pts]))
+        return FigureData(
+            figure_id=figure_id,
+            title=title or f"{y} vs {x} by {series}",
+            xlabel=x,
+            ylabel=y,
+            series=out,
+        )
+
+    # -- persistence ------------------------------------------------------
+    def to_csv(self, path: Union[str, pathlib.Path]) -> None:
+        """Write the table as CSV (missing cells empty)."""
+        fields: List[str] = []
+        for r in self.rows:
+            for k in r:
+                if k not in fields:
+                    fields.append(k)
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=fields)
+            writer.writeheader()
+            for r in self.rows:
+                writer.writerow({k: ("" if v is None else v)
+                                 for k, v in r.items()})
+
+    @classmethod
+    def from_csv(cls, path: Union[str, pathlib.Path]) -> "ResultTable":
+        """Read a table written by :meth:`to_csv`, restoring numbers."""
+        rows = []
+        with open(path, newline="") as f:
+            for raw in csv.DictReader(f):
+                row: Dict = {}
+                for k, v in raw.items():
+                    if v == "":
+                        row[k] = None
+                    else:
+                        row[k] = _parse_cell(v)
+                rows.append(row)
+        return cls(rows)
+
+
+def _parse_cell(v: str):
+    for conv in (int, float):
+        try:
+            return conv(v)
+        except ValueError:
+            continue
+    return v

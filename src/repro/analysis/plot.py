@@ -1,0 +1,132 @@
+"""Terminal (ASCII) line plots of figure data.
+
+The paper's figures are log-log or log-linear line plots; this module
+renders :class:`~repro.analysis.figures.FigureData` the same way in plain
+text, so examples and bench logs can *show* the curves, not just tabulate
+them.  Pure string manipulation — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .figures import FigureData, Series
+from .report import format_quantity
+
+#: Symbols assigned to series, in order.
+SERIES_MARKS = "ox+*#@%&=~^"
+
+#: Mark used where two or more series coincide.
+OVERLAP_MARK = "?"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(value)
+    return value
+
+
+def _finite_positive(values: Sequence[float], log: bool) -> List[float]:
+    if log:
+        return [v for v in values if v > 0 and math.isfinite(v)]
+    return [v for v in values if math.isfinite(v)]
+
+
+def ascii_plot(
+    fig: FigureData,
+    *,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+) -> str:
+    """Render a figure as an ASCII line plot with a legend.
+
+    Log axes drop non-positive points (as matplotlib would); series beyond
+    the symbol alphabet reuse symbols cyclically.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 characters")
+    xs_all, ys_all = [], []
+    for s in fig.series:
+        pts = [
+            (x, y)
+            for x, y in zip(s.x, s.y)
+            if (not logx or x > 0) and (not logy or y > 0)
+            and math.isfinite(x) and math.isfinite(y)
+        ]
+        xs_all.extend(p[0] for p in pts)
+        ys_all.extend(p[1] for p in pts)
+    if not xs_all:
+        return f"{fig.figure_id}: {fig.title}\n(no plottable points)"
+
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+
+    def col(x: float) -> int:
+        lo, hi = _transform(x_lo, logx), _transform(x_hi, logx)
+        if hi == lo:
+            return 0
+        frac = (_transform(x, logx) - lo) / (hi - lo)
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    def row(y: float) -> int:
+        lo, hi = _transform(y_lo, logy), _transform(y_hi, logy)
+        if hi == lo:
+            return height - 1
+        frac = (_transform(y, logy) - lo) / (hi - lo)
+        return min(height - 1, max(0, (height - 1) - round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[Tuple[str, str]] = []
+    for idx, s in enumerate(fig.series):
+        mark = SERIES_MARKS[idx % len(SERIES_MARKS)]
+        legend.append((mark, s.label))
+        for x, y in zip(s.x, s.y):
+            if (logx and x <= 0) or (logy and y <= 0):
+                continue
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            r, c = row(y), col(x)
+            cell = grid[r][c]
+            grid[r][c] = mark if cell in (" ", mark) else OVERLAP_MARK
+
+    top_label = format_quantity(y_hi)
+    bottom_label = format_quantity(y_lo)
+    margin = max(len(top_label), len(bottom_label)) + 1
+    lines = [f"{fig.figure_id}: {fig.title}"]
+    for r in range(height):
+        if r == 0:
+            label = top_label.rjust(margin - 1)
+        elif r == height - 1:
+            label = bottom_label.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|" + "".join(grid[r]))
+    x_axis = f"{' ' * margin}{format_quantity(x_lo)}{' ' * max(1, width - 16)}{format_quantity(x_hi)}"
+    lines.append(" " * margin + "-" * width)
+    lines.append(x_axis)
+    lines.append(f"x: {fig.xlabel}{' (log)' if logx else ''};  "
+                 f"y: {fig.ylabel}{' (log)' if logy else ''}")
+    lines.append("legend: " + "  ".join(f"{m}={label}" for m, label in legend))
+    return "\n".join(lines)
+
+
+def sparkline(series: Series, *, width: int = 40, logy: bool = False) -> str:
+    """One-line bar rendering of a series (block characters)."""
+    blocks = " .:-=+*#%@"
+    ys = _finite_positive(series.y, logy)
+    if not ys:
+        return f"{series.label}: (empty)"
+    lo = _transform(min(ys), logy)
+    hi = _transform(max(ys), logy)
+    out = []
+    step = max(1, len(series.y) // width)
+    for y in series.y[::step][:width]:
+        if (logy and y <= 0) or not math.isfinite(y):
+            out.append(" ")
+            continue
+        frac = 0.0 if hi == lo else (_transform(y, logy) - lo) / (hi - lo)
+        out.append(blocks[min(len(blocks) - 1, int(frac * (len(blocks) - 1)))])
+    return f"{series.label}: [{''.join(out)}]"

@@ -1,0 +1,121 @@
+"""Text rendering of figure data.
+
+The core library "manages ... displaying results"; this module renders
+:class:`~repro.analysis.figures.FigureData` as aligned text tables (the
+same rows/series the paper's plots show) and as Markdown for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from .figures import FigureData, Series
+
+
+def format_quantity(value: float, unit: str = "") -> str:
+    """Human-readable engineering notation (1.26e12 -> '1.26T')."""
+    if value == 0:
+        return f"0{unit}"
+    if value != value or math.isinf(value):  # NaN / inf
+        return str(value)
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+        (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+    ]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale:
+            return f"{value / scale:.3g}{prefix}{unit}"
+    return f"{value:.3g}{unit}"
+
+
+def render_series_table(fig: FigureData, *, max_points: int = 12) -> str:
+    """One table per figure: series as rows, x positions as columns."""
+    xs = sorted({x for s in fig.series for x in s.x})
+    if len(xs) > max_points:
+        stride = (len(xs) + max_points - 1) // max_points
+        xs = xs[::stride]
+    header = ["series"] + [format_quantity(x) for x in xs]
+    rows: List[List[str]] = [header]
+    for s in fig.series:
+        lookup = dict(zip(s.x, s.y))
+        row = [s.label]
+        for x in xs:
+            row.append(format_quantity(lookup[x]) if x in lookup else "-")
+        rows.append(row)
+    return _align(rows, title=f"{fig.figure_id}: {fig.title}",
+                  footer=f"x: {fig.xlabel};  y: {fig.ylabel}")
+
+
+def _align(rows: List[List[str]], title: str = "", footer: str = "") -> str:
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if footer:
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_markdown_table(fig: FigureData, *, max_points: int = 8) -> str:
+    """The same table in Markdown (for EXPERIMENTS.md)."""
+    xs = sorted({x for s in fig.series for x in s.x})
+    if len(xs) > max_points:
+        stride = (len(xs) + max_points - 1) // max_points
+        xs = xs[::stride]
+    lines = [f"**{fig.figure_id}: {fig.title}**", ""]
+    lines.append("| series | " + " | ".join(format_quantity(x) for x in xs) + " |")
+    lines.append("|" + "---|" * (len(xs) + 1))
+    for s in fig.series:
+        lookup = dict(zip(s.x, s.y))
+        cells = [format_quantity(lookup[x]) if x in lookup else "-" for x in xs]
+        lines.append(f"| {s.label} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def summarize_extremes(fig: FigureData) -> str:
+    """One line per series: min/max y — quick shape check in bench logs."""
+    out = []
+    for s in fig.series:
+        out.append(
+            f"{fig.figure_id} {s.label}: "
+            f"y in [{format_quantity(min(s.y))}, {format_quantity(max(s.y))}]"
+        )
+    return "\n".join(out)
+
+
+def render_all(figures: Iterable[FigureData]) -> str:
+    return "\n\n".join(render_series_table(f) for f in figures)
+
+
+def granularity_at_efficiency(series: Series, target: float) -> float:
+    """Smallest x (granularity) at which the series reaches ``target``
+    efficiency; ``inf`` if it never does."""
+    return min(
+        (x for x, y in zip(series.x, series.y) if y >= target),
+        default=float("inf"),
+    )
+
+
+def render_efficiency_summary(fig: FigureData, targets=(0.5,)) -> str:
+    """Per-series summary of an efficiency-vs-granularity figure: peak
+    efficiency reached and the smallest granularity meeting each target.
+
+    Efficiency curves have per-system granularity grids, so the raw series
+    table is sparse; this is the dense view used for Figures 7, 11 and 12.
+    """
+    header = ["series", "peak eff"] + [f"gran@{int(t * 100)}%" for t in targets]
+    rows = [header]
+    for s in sorted(fig.series, key=lambda s: granularity_at_efficiency(s, targets[0])):
+        row = [s.label, f"{max(s.y):.1%}"]
+        for t in targets:
+            g = granularity_at_efficiency(s, t)
+            row.append("never" if g == float("inf") else format_quantity(g * 1e-3, "s"))
+        rows.append(row)
+    return _align(rows, title=f"{fig.figure_id} summary: {fig.title}",
+                  footer="granularities converted from the figure's ms axis")

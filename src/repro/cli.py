@@ -1,0 +1,181 @@
+"""Task Bench command-line interface.
+
+Accepts the official Task Bench flag vocabulary (see
+:mod:`repro.core.config`) plus selection of the execution substrate::
+
+    # run a stencil on the real thread-pool executor
+    task-bench -steps 100 -width 4 -type stencil_1d \\
+               -kernel compute_bound -iter 1024 -runtime threads -workers 4
+
+    # simulate the same benchmark on 64 Cori-like nodes under the MPI model
+    task-bench -steps 100 -width 2048 -type stencil_1d \\
+               -kernel compute_bound -iter 1024 \\
+               -runtime sim:mpi_p2p -nodes 64 -cores 32
+
+``-runtime sim:<system>`` selects a modeled system on the simulator
+substrate; any other name selects a real executor from
+``repro.runtimes``.  Output is the core library's uniform report.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Sequence
+
+from .core.config import AppConfig, ConfigError, parse_args
+from .core.metrics import RunResult
+from .runtimes.registry import available_runtimes, make_executor
+from .sim.machine import MachineSpec
+from .sim.network import ARIES
+from .sim.simulator import simulate
+from .sim.systems import all_systems, get_system, scaled_for
+
+
+def run_config(app: AppConfig) -> RunResult:
+    """Execute a parsed configuration and return its result."""
+    if app.runtime.startswith("sim:"):
+        system = get_system(app.runtime[len("sim:"):])
+        machine = MachineSpec(
+            nodes=app.nodes,
+            cores_per_node=app.cores_per_node or 32,
+        )
+        return simulate(app.graphs, machine, scaled_for(system, machine), ARIES)
+    executor = make_executor(app.runtime, workers=app.workers)
+    return executor.run(app.graphs, validate=app.validate)
+
+
+def run_metg(app: AppConfig, target: float) -> str:
+    """Run a METG sweep for the configured graphs and runtime.
+
+    The configured graphs serve as the workload template; the sweep varies
+    their compute-kernel iteration count exactly as §4 prescribes
+    ("maintaining exactly the same hardware and software configuration").
+    """
+    import dataclasses
+
+    from .metg.metg import metg
+    from .metg.runners import RealRunner, SimRunner
+
+    def factory(iterations: int):
+        return [
+            dataclasses.replace(
+                g, kernel=dataclasses.replace(g.kernel, iterations=iterations)
+            )
+            for g in app.graphs
+        ]
+
+    if app.runtime.startswith("sim:"):
+        machine = MachineSpec(
+            nodes=app.nodes, cores_per_node=app.cores_per_node or 32
+        )
+        runner = SimRunner(app.runtime[len("sim:"):], machine)
+        max_iterations = 1 << 36
+    else:
+        runner = RealRunner(make_executor(app.runtime, workers=app.workers))
+        max_iterations = 1 << 24  # real kernels: bound the sweep
+    result = metg(runner, factory, target_efficiency=target,
+                  max_iterations=max_iterations)
+    lines = [
+        f"METG({target:.0%}) {result.metg_seconds:e} seconds",
+        f"Probes {len(result.history)}",
+        f"Efficiency At Crossing {result.above.efficiency:.3f}",
+        f"Iterations At Crossing {result.above.iterations}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    args: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("-h", "--help", "help"):
+        print(_usage())
+        return 0
+    # -scenario NAME replaces the graph flags with a named application
+    # scenario (repro.core.scenarios); -width/-steps/-iter still apply.
+    scenario_name: str | None = None
+    if "-scenario" in args:
+        pos = args.index("-scenario")
+        args.pop(pos)
+        if pos >= len(args):
+            print("error: -scenario is missing its value", file=sys.stderr)
+            return 2
+        scenario_name = args.pop(pos)
+    # -metg [target] switches from a single run to a METG sweep.
+    metg_target: float | None = None
+    if "-metg" in args:
+        pos = args.index("-metg")
+        args.pop(pos)
+        metg_target = 0.5
+        if pos < len(args):
+            try:
+                metg_target = float(args[pos])
+                args.pop(pos)
+            except ValueError:
+                pass  # next token is another flag; keep the default target
+        if not 0.0 < metg_target < 1.0:
+            print(f"error: -metg target must be in (0, 1), got {metg_target}",
+                  file=sys.stderr)
+            return 2
+    try:
+        app = parse_args(args)
+    except (ConfigError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if scenario_name is not None:
+        from .core.scenarios import get_scenario
+
+        template = app.graphs[0]
+        kw = {"width": template.max_width, "steps": template.timesteps}
+        if template.kernel.iterations:
+            kw["iterations"] = template.kernel.iterations
+        try:
+            app.graphs = get_scenario(scenario_name)(**kw)
+        except (TypeError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    if app.verbose:
+        for g in app.graphs:
+            print(g.describe())
+    try:
+        if metg_target is not None:
+            print(run_metg(app, metg_target))
+            return 0
+        result = run_config(app)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(result.report())
+    return 0
+
+
+def _usage() -> str:
+    from .core.scenarios import SCENARIOS
+
+    runtimes = ", ".join(available_runtimes())
+    systems = ", ".join(sorted(all_systems()))
+    scenarios = ", ".join(sorted(SCENARIOS))
+    return f"""task-bench: a parameterized benchmark for parallel runtime performance
+
+graph options (repeat after -and for multiple concurrent graphs):
+  -steps N           timesteps (height)            -width N    parallelism
+  -type NAME         dependence pattern            -radix N    deps per task
+  -period N          random pattern period         -fraction F edge fraction
+  -kernel NAME       task kernel                   -iter N     kernel iterations
+  -span N            memory kernel bytes/iter      -imbalance F  load imbalance
+  -wait US           busy-wait microseconds        -seed N     RNG seed
+  -output N          bytes per dependency          -scratch N  working set bytes
+
+app options:
+  -runtime NAME      real executor: {runtimes}
+                     or sim:<system> with <system> one of: {systems}
+  -workers N         worker count for real executors
+  -nodes N           simulated node count          -cores N    cores per node
+  -no-validate       disable input validation      -verbose    print graphs
+  -metg [TARGET]     sweep problem size and report METG(TARGET) (default 0.5)
+  -scenario NAME     use a named application scenario ({scenarios})
+  -persistent-imbalance   per-column (persistent) imbalance multipliers
+"""
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Task Bench core library (paper §2).
+
+Everything shared between runtime implementations lives here: task-graph
+generation, dependence enumeration, kernels, validation, parameter parsing
+and result reporting.  Runtime shims (``repro.runtimes``) and the simulator
+substrate (``repro.sim``) are both built on this package.
+"""
+
+from .config import AppConfig, ConfigError, default_graph, parse_args
+from .dependence import (
+    DependenceSpec,
+    Interval,
+    clip_intervals,
+    count_points,
+    interval_points,
+    merge_intervals,
+)
+from .executor_base import Executor
+from .kernels import (
+    FLOPS_PER_ITERATION,
+    KERNEL_VECTOR_WIDTH,
+    Kernel,
+    KernelTimeModel,
+    execute_kernel_busy_wait,
+    execute_kernel_compute,
+    execute_kernel_compute2,
+    execute_kernel_io,
+    execute_kernel_memory,
+)
+from .metrics import RunResult, summarize_graphs
+from .scenarios import SCENARIOS, Scenario, get_scenario
+from .task_graph import DEFAULT_SEED, TaskGraph
+from .types import DependenceType, KernelType
+from .validation import (
+    ValidationError,
+    expected_inputs,
+    task_output,
+    validate_inputs,
+)
+
+__all__ = [
+    "AppConfig",
+    "ConfigError",
+    "DEFAULT_SEED",
+    "DependenceSpec",
+    "DependenceType",
+    "Executor",
+    "FLOPS_PER_ITERATION",
+    "Interval",
+    "KERNEL_VECTOR_WIDTH",
+    "Kernel",
+    "KernelTimeModel",
+    "KernelType",
+    "RunResult",
+    "SCENARIOS",
+    "Scenario",
+    "TaskGraph",
+    "ValidationError",
+    "clip_intervals",
+    "count_points",
+    "default_graph",
+    "execute_kernel_busy_wait",
+    "execute_kernel_compute",
+    "execute_kernel_compute2",
+    "execute_kernel_io",
+    "execute_kernel_memory",
+    "expected_inputs",
+    "get_scenario",
+    "interval_points",
+    "merge_intervals",
+    "parse_args",
+    "summarize_graphs",
+    "task_output",
+    "validate_inputs",
+]

@@ -1,0 +1,190 @@
+"""Command-line parameter parsing (paper §2, Table 1).
+
+The core library "manages parsing input parameters ... ensuring that all
+implementations behave uniformly and can be scripted consistently".  This
+module accepts the official Task Bench flag vocabulary::
+
+    -steps H -width W -type stencil_1d -radix 5 -kernel compute_bound
+    -iter 1024 -output 16 -scratch 0 -and <next graph...>
+
+``-and`` separates multiple concurrently-executed task graphs (paper §2:
+"multiple (potentially heterogeneous) task graphs can be executed
+concurrently").  Graph-level flags apply to the graph currently being
+described; app-level flags (``-runtime``, ``-nodes``, ...) may appear
+anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from .kernels import Kernel
+from .task_graph import DEFAULT_SEED, TaskGraph
+from .types import DependenceType, KernelType
+
+
+class ConfigError(ValueError):
+    """Raised for malformed command lines."""
+
+
+@dataclass
+class AppConfig:
+    """A fully parsed Task Bench invocation: graphs plus app options."""
+
+    graphs: List[TaskGraph] = field(default_factory=list)
+    runtime: str = "serial"
+    workers: int = 1
+    nodes: int = 1
+    cores_per_node: int = 0  # 0 = use the runtime's default
+    validate: bool = True
+    verbose: bool = False
+
+
+@dataclass
+class _GraphDraft:
+    """Mutable accumulator for one graph's flags before freezing."""
+
+    steps: int = 10
+    width: int = 4
+    dtype: DependenceType = DependenceType.TRIVIAL
+    radix: int = 3
+    period: int = -1
+    fraction: float = 0.25
+    kernel_type: KernelType = KernelType.EMPTY
+    iterations: int = 0
+    span: int = 0
+    imbalance: float = 0.0
+    persistent_imbalance: bool = False
+    wait_us: float = 0.0
+    output: int = 16
+    scratch: int = 0
+    seed: int = DEFAULT_SEED
+
+    def freeze(self, graph_index: int) -> TaskGraph:
+        kernel = Kernel(
+            kernel_type=self.kernel_type,
+            iterations=self.iterations,
+            span_bytes=self.span,
+            imbalance=self.imbalance,
+            persistent=self.persistent_imbalance,
+            wait_us=self.wait_us,
+        )
+        return TaskGraph(
+            timesteps=self.steps,
+            max_width=self.width,
+            dependence=self.dtype,
+            radix=self.radix,
+            period=self.period,
+            fraction_connected=self.fraction,
+            kernel=kernel,
+            output_bytes_per_task=self.output,
+            scratch_bytes_per_task=self.scratch,
+            graph_index=graph_index,
+            seed=self.seed,
+        )
+
+
+def _to_int(flag: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigError(f"{flag} expects an integer, got {value!r}") from None
+
+
+def _to_float(flag: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigError(f"{flag} expects a number, got {value!r}") from None
+
+
+#: Graph-level flags: flag -> (draft attribute, converter)
+_GRAPH_FLAGS: Dict[str, tuple] = {
+    "-steps": ("steps", _to_int),
+    "-width": ("width", _to_int),
+    "-radix": ("radix", _to_int),
+    "-period": ("period", _to_int),
+    "-iter": ("iterations", _to_int),
+    "-span": ("span", _to_int),
+    "-output": ("output", _to_int),
+    "-scratch": ("scratch", _to_int),
+    "-seed": ("seed", _to_int),
+    "-fraction": ("fraction", _to_float),
+    "-imbalance": ("imbalance", _to_float),
+    "-wait": ("wait_us", _to_float),
+}
+
+
+def parse_args(argv: Sequence[str]) -> AppConfig:
+    """Parse a Task Bench command line into an :class:`AppConfig`.
+
+    Raises :class:`ConfigError` on unknown flags, missing values, or invalid
+    parameter combinations (the underlying dataclasses re-validate ranges).
+    """
+    app = AppConfig()
+    drafts: List[_GraphDraft] = [_GraphDraft()]
+    tokens = list(argv)
+    pos = 0
+
+    def take_value(flag: str) -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ConfigError(f"flag {flag} is missing its value")
+        value = tokens[pos]
+        pos += 1
+        return value
+
+    while pos < len(tokens):
+        flag = tokens[pos]
+        pos += 1
+        if flag == "-and":
+            # Start a new graph inheriting the previous graph's settings,
+            # matching the official CLI behaviour.
+            drafts.append(replace(drafts[-1]))
+        elif flag in _GRAPH_FLAGS:
+            attr, conv = _GRAPH_FLAGS[flag]
+            setattr(drafts[-1], attr, conv(flag, take_value(flag)))
+        elif flag == "-type":
+            drafts[-1].dtype = DependenceType.parse(take_value(flag))
+        elif flag == "-kernel":
+            drafts[-1].kernel_type = KernelType.parse(take_value(flag))
+        elif flag == "-runtime":
+            app.runtime = take_value(flag)
+        elif flag == "-workers":
+            app.workers = _to_int(flag, take_value(flag))
+        elif flag == "-nodes":
+            app.nodes = _to_int(flag, take_value(flag))
+        elif flag == "-cores":
+            app.cores_per_node = _to_int(flag, take_value(flag))
+        elif flag == "-persistent-imbalance":
+            drafts[-1].persistent_imbalance = True
+        elif flag == "-no-validate":
+            app.validate = False
+        elif flag == "-verbose":
+            app.verbose = True
+        else:
+            raise ConfigError(f"unknown flag {flag!r}")
+
+    try:
+        app.graphs = [d.freeze(idx) for idx, d in enumerate(drafts)]
+    except ValueError as e:
+        raise ConfigError(str(e)) from None
+    if app.workers < 1:
+        raise ConfigError(f"-workers must be >= 1, got {app.workers}")
+    if app.nodes < 1:
+        raise ConfigError(f"-nodes must be >= 1, got {app.nodes}")
+    return app
+
+
+def default_graph(**overrides) -> TaskGraph:
+    """A small stencil/compute graph useful as a starting configuration."""
+    base = dict(
+        timesteps=10,
+        max_width=4,
+        dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=16),
+        output_bytes_per_task=16,
+    )
+    base.update(overrides)
+    return TaskGraph(**base)

@@ -1,0 +1,74 @@
+"""The executor interface: what each "programming system" implements.
+
+The key design property of Task Bench is that implementing ``m`` benchmarks
+on ``n`` systems costs ``O(m + n)`` instead of ``O(m * n)`` (paper §1): every
+system only implements this small interface, and every benchmark is just a
+:class:`~repro.core.task_graph.TaskGraph` configuration.
+
+An executor receives a list of task graphs (possibly heterogeneous, executed
+concurrently — paper §2) and must:
+
+1. execute every task, calling ``graph.execute_point`` exactly once per point,
+2. deliver each task's output buffer to all of its reverse dependencies,
+3. return a :class:`~repro.core.metrics.RunResult` with the elapsed time.
+
+Because ``execute_point`` validates its inputs against the graph
+specification, any scheduling or communication bug in an executor surfaces
+as a :class:`~repro.core.validation.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Sequence
+
+from .metrics import RunResult, summarize_graphs
+from .task_graph import TaskGraph
+
+
+class Executor(abc.ABC):
+    """Abstract base class for Task Bench runtime implementations."""
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def cores(self) -> int:
+        """Number of cores this executor occupies (workers + reserved)."""
+
+    @abc.abstractmethod
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        """Execute all graphs to completion.  Implementations must call
+        ``graph.execute_point`` for every point of every graph and route
+        outputs to dependents; they should not time themselves."""
+
+    def run(self, graphs: Sequence[TaskGraph], *, validate: bool = True) -> RunResult:
+        """Execute ``graphs`` and return a timed :class:`RunResult`.
+
+        Wall-clock timing surrounds only :meth:`execute_graphs`; graph
+        accounting (task/dependency/FLOP totals) is computed outside the
+        timed region, mirroring the official harness which excludes setup.
+        """
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("at least one task graph is required")
+        for idx, g in enumerate(graphs):
+            if g.graph_index != idx:
+                raise ValueError(
+                    f"graph at position {idx} has graph_index={g.graph_index}; "
+                    "graph_index must equal the position in the list so task "
+                    "outputs are globally unique"
+                )
+        start = time.perf_counter()
+        self.execute_graphs(graphs, validate=validate)
+        elapsed = time.perf_counter() - start
+        return summarize_graphs(
+            self.name, graphs, elapsed, self.cores, validated=validate
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} cores={self.cores}>"

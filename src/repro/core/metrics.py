@@ -1,0 +1,142 @@
+"""Run metrics and reporting (paper §4).
+
+Defines :class:`RunResult`, the uniform record every executor (real or
+simulated) returns, and the derived quantities the paper's evaluation is
+built on: FLOP/s, B/s, tasks/s and — centrally — *task granularity*::
+
+    task granularity = wall time x num. cores / num. tasks      (paper §4)
+
+The core library "manages ... displaying results, ensuring that all
+implementations behave uniformly and can be scripted consistently";
+:meth:`RunResult.report` is that uniform output format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from .task_graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing a set of task graphs on some executor.
+
+    Attributes
+    ----------
+    executor:
+        Name of the runtime system / executor that produced the run.
+    elapsed_seconds:
+        Wall-clock (or simulated) time for the whole run.
+    cores:
+        Number of cores participating (workers + any reserved runtime
+        cores); used for the task-granularity formula.
+    total_tasks, total_dependencies:
+        Graph totals, summed over all graphs in the run.
+    total_flops, total_bytes:
+        Useful work executed, summed over all graphs.
+    validated:
+        Whether input validation was enabled during the run.
+    """
+
+    executor: str
+    elapsed_seconds: float
+    cores: int
+    total_tasks: int
+    total_dependencies: int
+    total_flops: int = 0
+    total_bytes: int = 0
+    validated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be >= 0")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.total_tasks < 1:
+            raise ValueError("total_tasks must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def flops_per_second(self) -> float:
+        """Achieved floating-point throughput."""
+        return self.total_flops / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Achieved memory throughput (memory-bound kernel)."""
+        return self.total_bytes / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def tasks_per_second(self) -> float:
+        """Task scheduling throughput (the metric METG improves upon)."""
+        return self.total_tasks / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def task_granularity_seconds(self) -> float:
+        """Mean task granularity: ``wall time x cores / tasks`` (paper §4)."""
+        return self.elapsed_seconds * self.cores / self.total_tasks
+
+    def efficiency(self, peak_flops_per_second: float) -> float:
+        """Fraction of peak FLOP/s achieved (compute-bound efficiency)."""
+        if peak_flops_per_second <= 0:
+            raise ValueError("peak must be positive")
+        return self.flops_per_second / peak_flops_per_second
+
+    def memory_efficiency(self, peak_bytes_per_second: float) -> float:
+        """Fraction of peak B/s achieved (memory-bound efficiency)."""
+        if peak_bytes_per_second <= 0:
+            raise ValueError("peak must be positive")
+        return self.bytes_per_second / peak_bytes_per_second
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Uniform multi-line result report (official-output style)."""
+        lines = [
+            f"Executor: {self.executor}",
+            f"Total Tasks {self.total_tasks}",
+            f"Total Dependencies {self.total_dependencies}",
+            f"Elapsed Time {self.elapsed_seconds:e} seconds",
+            f"FLOP/s {self.flops_per_second:e}",
+            f"B/s {self.bytes_per_second:e}",
+            f"Task Granularity {self.task_granularity_seconds:e} seconds",
+        ]
+        return "\n".join(lines)
+
+    def with_elapsed(self, elapsed_seconds: float) -> "RunResult":
+        """Copy of this result with a different elapsed time."""
+        return dataclasses.replace(self, elapsed_seconds=elapsed_seconds)
+
+
+def summarize_graphs(
+    executor: str,
+    graphs: Sequence[TaskGraph],
+    elapsed_seconds: float,
+    cores: int,
+    *,
+    validated: bool = True,
+) -> RunResult:
+    """Build a :class:`RunResult` from graph-level accounting.
+
+    Work totals (tasks, dependencies, FLOPs, bytes) are properties of the
+    graphs alone, so they are computed here once rather than re-measured by
+    every executor.
+    """
+    if not graphs:
+        raise ValueError("at least one task graph is required")
+    return RunResult(
+        executor=executor,
+        elapsed_seconds=elapsed_seconds,
+        cores=cores,
+        total_tasks=sum(g.total_tasks() for g in graphs),
+        total_dependencies=sum(g.total_dependencies() for g in graphs),
+        total_flops=sum(g.total_flops() for g in graphs),
+        total_bytes=sum(g.total_bytes() for g in graphs),
+        validated=validated,
+    )

@@ -1,0 +1,297 @@
+"""Named application scenarios (paper §1-§2).
+
+Task Bench's introduction motivates the parameter space with the key
+communication/computation characteristics of real applications: "trivial
+parallelism, halo exchanges (such as seen in structured and unstructured
+mesh codes), sweeps (such as used in the discrete ordinates method of
+radiation simulation), FFTs, trees (for divide and conquer algorithms), and
+so on".  This module provides those scenarios as ready-made graph
+factories so a user can benchmark a runtime against an application *shape*
+by name.
+
+Each scenario documents which application family it distills and exposes
+the same dials as the paper (problem size via ``iterations``, communication
+volume via ``output_bytes``, graph dimensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .kernels import Kernel
+from .task_graph import TaskGraph
+from .types import DependenceType, KernelType
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named application shape."""
+
+    name: str
+    description: str
+    build: Callable[..., List[TaskGraph]]
+
+    def __call__(self, **kw) -> List[TaskGraph]:
+        return self.build(**kw)
+
+
+def _compute_kernel(iterations: int) -> Kernel:
+    return Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=iterations)
+
+
+def halo_exchange(
+    width: int = 16,
+    steps: int = 50,
+    iterations: int = 1024,
+    output_bytes: int = 4096,
+    periodic: bool = False,
+) -> List[TaskGraph]:
+    """Structured-mesh halo exchange: the 1-D stencil.
+
+    The archetypal HPC communication pattern — each subdomain trades
+    boundary layers with its neighbours every timestep (paper Figure 1b).
+    ``periodic`` selects wrap-around boundaries (a ring of subdomains).
+    """
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=(
+                DependenceType.STENCIL_1D_PERIODIC
+                if periodic
+                else DependenceType.STENCIL_1D
+            ),
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+        )
+    ]
+
+
+def radiation_sweep(
+    width: int = 16,
+    steps: int = 50,
+    iterations: int = 1024,
+    output_bytes: int = 1024,
+    directions: int = 1,
+) -> List[TaskGraph]:
+    """Discrete-ordinates radiation transport: wavefront sweeps.
+
+    Each task needs its own cell from the previous step plus the upwind
+    neighbour (paper Figure 1d).  ``directions`` runs several independent
+    sweep graphs concurrently, as S_N codes sweep multiple angles — task
+    parallelism that asynchronous runtimes exploit.
+    """
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.DOM,
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+            graph_index=k,
+        )
+        for k in range(directions)
+    ]
+
+
+def fft(
+    width: int = 16,
+    steps: int = 0,
+    iterations: int = 1024,
+    output_bytes: int = 8192,
+) -> List[TaskGraph]:
+    """Distributed FFT butterfly (paper Figure 1c).
+
+    ``steps=0`` sizes the graph to exactly the ``log2(width)`` butterfly
+    stages (plus the initial row); larger values repeat the exchange
+    pattern, as iterative spectral solvers do.
+    """
+    if width < 2:
+        raise ValueError("fft scenario needs width >= 2")
+    if steps <= 0:
+        steps = max(2, width.bit_length())
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.FFT,
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+        )
+    ]
+
+
+def divide_and_conquer(
+    width: int = 16,
+    steps: int = 0,
+    iterations: int = 1024,
+    output_bytes: int = 1024,
+) -> List[TaskGraph]:
+    """Divide-and-conquer tree (paper Figure 1e): work fans out from a
+    root, doubling each level until ``width`` leaves compute in parallel.
+
+    ``steps=0`` sizes the graph to the fan-out depth plus as many steady
+    leaf timesteps again.
+    """
+    if steps <= 0:
+        depth = max(1, (width - 1).bit_length())
+        steps = 2 * depth + 1
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.TREE,
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+        )
+    ]
+
+
+def embarrassingly_parallel(
+    width: int = 64,
+    steps: int = 20,
+    iterations: int = 65536,
+    output_bytes: int = 0,
+) -> List[TaskGraph]:
+    """Trivially parallel batch workload (paper Figure 1a): map-only data
+    analytics, parameter sweeps, Monte Carlo.  No communication at all —
+    the pattern where even very-high-overhead systems do fine (§5.5)."""
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.TRIVIAL,
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+        )
+    ]
+
+
+def unstructured_mesh(
+    width: int = 32,
+    steps: int = 50,
+    iterations: int = 1024,
+    output_bytes: int = 2048,
+    neighbors: int = 5,
+    seed: int = 12345,
+) -> List[TaskGraph]:
+    """Unstructured-mesh halo exchange: each partition talks to an
+    irregular set of nearby partitions.  Modeled with the random-nearest
+    pattern over a ``neighbors``-wide window (deterministic per seed), the
+    irregular analogue of the stencil."""
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.RANDOM_NEAREST,
+            radix=neighbors,
+            fraction_connected=0.6,
+            period=1,  # a fixed mesh: the neighbour sets do not change
+            kernel=_compute_kernel(iterations),
+            output_bytes_per_task=output_bytes,
+            seed=seed,
+        )
+    ]
+
+
+def multiphysics(
+    width: int = 16,
+    steps: int = 40,
+    iterations: int = 2048,
+    output_bytes: int = 4096,
+) -> List[TaskGraph]:
+    """Coupled multi-physics: heterogeneous solvers advancing concurrently
+    (paper §2: "multiple (potentially heterogeneous) task graphs can be
+    executed concurrently").  A stencil fluid solve, a sweep transport
+    solve, and an FFT-based spectral solve share the machine."""
+    k = _compute_kernel(iterations)
+    return [
+        TaskGraph(timesteps=steps, max_width=width,
+                  dependence=DependenceType.STENCIL_1D, kernel=k,
+                  output_bytes_per_task=output_bytes, graph_index=0),
+        TaskGraph(timesteps=steps, max_width=width,
+                  dependence=DependenceType.DOM, kernel=k,
+                  output_bytes_per_task=output_bytes, graph_index=1),
+        TaskGraph(timesteps=steps, max_width=width,
+                  dependence=DependenceType.FFT, kernel=k,
+                  output_bytes_per_task=output_bytes, graph_index=2),
+    ]
+
+
+def amr_load_imbalance(
+    width: int = 16,
+    steps: int = 40,
+    iterations: int = 8192,
+    output_bytes: int = 2048,
+    imbalance: float = 1.0,
+    persistent: bool = True,
+    patches: int = 4,
+) -> List[TaskGraph]:
+    """Adaptive mesh refinement: refined regions make some partitions
+    persistently more expensive.  The nearest pattern under persistent
+    load imbalance — the regime needing migration/stealing (paper §5.7
+    future work; see EXPERIMENTS.md).
+
+    ``patches`` over-decomposes the domain into several concurrent graphs
+    (AMR codes keep more patches than cores precisely so the balancer has
+    work to move); each patch level gets a distinct seed so different
+    columns are refined in different patches.
+    """
+    if patches < 1:
+        raise ValueError("patches must be >= 1")
+    return [
+        TaskGraph(
+            timesteps=steps,
+            max_width=width,
+            dependence=DependenceType.NEAREST,
+            radix=5,
+            kernel=Kernel(
+                kernel_type=KernelType.LOAD_IMBALANCE,
+                iterations=iterations,
+                imbalance=imbalance,
+                persistent=persistent,
+            ),
+            output_bytes_per_task=output_bytes,
+            graph_index=k,
+            seed=12345 + 1009 * k,
+        )
+        for k in range(patches)
+    ]
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario("halo_exchange",
+                 "structured-mesh nearest-neighbour exchange (stencil)",
+                 halo_exchange),
+        Scenario("radiation_sweep",
+                 "discrete-ordinates wavefront sweeps (dom)",
+                 radiation_sweep),
+        Scenario("fft", "distributed FFT butterfly", fft),
+        Scenario("divide_and_conquer", "fan-out tree", divide_and_conquer),
+        Scenario("embarrassingly_parallel",
+                 "map-only batch / Monte Carlo (trivial)",
+                 embarrassingly_parallel),
+        Scenario("unstructured_mesh",
+                 "irregular-neighbour halo exchange (random nearest)",
+                 unstructured_mesh),
+        Scenario("multiphysics",
+                 "heterogeneous concurrent solvers (3 graphs)",
+                 multiphysics),
+        Scenario("amr_load_imbalance",
+                 "persistently imbalanced partitions (AMR-like)",
+                 amr_load_imbalance),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None

@@ -1,0 +1,222 @@
+"""The task graph abstraction (paper §2).
+
+A :class:`TaskGraph` is a 2-D iteration space (``timesteps`` × ``max_width``)
+combined with a dependence relation, a kernel, and per-dependency
+communication payload sizes.  The graph is *unmaterialized*: dependencies are
+computed on demand from the dependence relation, which is what lets every
+Task Bench implementation stay small (paper §2) and lets the core library
+validate every execution exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .dependence import DependenceSpec, Interval
+from .kernels import Kernel
+from .types import DependenceType, KernelType
+
+DEFAULT_SEED = 12345
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A parameterized task graph (Table 1 of the paper).
+
+    Attributes
+    ----------
+    timesteps:
+        Height of the graph: number of timesteps (vertical axis).
+    max_width:
+        Width of the graph: degree of parallelism (horizontal axis).
+    dependence:
+        Dependence relation between consecutive timesteps.
+    radix:
+        Dependencies per task for the parameterized patterns.
+    period:
+        Repetition period of the random pattern (``-1``: never repeats).
+    fraction_connected:
+        Edge probability for the random pattern.
+    kernel:
+        Work performed by each task.
+    output_bytes_per_task:
+        Bytes produced by each task and communicated along every dependence
+        edge (degree of communication).
+    scratch_bytes_per_task:
+        Total working-set size of the memory-bound kernel, per column.
+    graph_index:
+        Index of this graph when several graphs execute concurrently.
+    seed:
+        Seed for deterministic pseudo-randomness (random edges, imbalance).
+    """
+
+    timesteps: int
+    max_width: int
+    dependence: DependenceType = DependenceType.TRIVIAL
+    radix: int = 3
+    period: int = -1
+    fraction_connected: float = 0.25
+    kernel: Kernel = field(default_factory=Kernel)
+    output_bytes_per_task: int = 16
+    scratch_bytes_per_task: int = 0
+    graph_index: int = 0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {self.timesteps}")
+        if self.max_width < 1:
+            raise ValueError(f"max_width must be >= 1, got {self.max_width}")
+        if self.output_bytes_per_task < 0:
+            raise ValueError(
+                f"output_bytes_per_task must be >= 0, got {self.output_bytes_per_task}"
+            )
+        if self.scratch_bytes_per_task < 0:
+            raise ValueError(
+                f"scratch_bytes_per_task must be >= 0, got {self.scratch_bytes_per_task}"
+            )
+        if (
+            self.kernel.kernel_type is KernelType.MEMORY_BOUND
+            and self.scratch_bytes_per_task < 2
+        ):
+            raise ValueError(
+                "memory_bound kernel requires scratch_bytes_per_task >= 2"
+            )
+
+    # ------------------------------------------------------------------
+    # Shape / dependence queries (delegated to the dependence relation)
+    # ------------------------------------------------------------------
+    @cached_property
+    def spec(self) -> DependenceSpec:
+        """The dependence relation object for this graph."""
+        return DependenceSpec(
+            self.dependence,
+            self.max_width,
+            self.timesteps,
+            radix=self.radix,
+            period=self.period,
+            fraction=self.fraction_connected,
+            seed=self.seed,
+        )
+
+    def offset_at_timestep(self, t: int) -> int:
+        """First active column at timestep ``t``."""
+        return self.spec.offset_at_timestep(t)
+
+    def width_at_timestep(self, t: int) -> int:
+        """Number of active columns at timestep ``t``."""
+        return self.spec.width_at_timestep(t)
+
+    def contains_point(self, t: int, i: int) -> bool:
+        """Whether task ``(t, i)`` exists."""
+        return self.spec.contains_point(t, i)
+
+    def dependencies(self, t: int, i: int) -> List[Interval]:
+        """Intervals of columns at ``t - 1`` that task ``(t, i)`` reads."""
+        return self.spec.dependencies(t, i)
+
+    def reverse_dependencies(self, t: int, i: int) -> List[Interval]:
+        """Intervals of columns at ``t + 1`` that read task ``(t, i)``."""
+        return self.spec.reverse_dependencies(t, i)
+
+    def dependency_points(self, t: int, i: int) -> Iterator[int]:
+        """Columns at ``t - 1`` read by ``(t, i)``, ascending.  This is the
+        canonical input order expected by :meth:`execute_point`."""
+        return self.spec.dependency_points(t, i)
+
+    def reverse_dependency_points(self, t: int, i: int) -> Iterator[int]:
+        """Columns at ``t + 1`` that read ``(t, i)``, ascending."""
+        return self.spec.reverse_dependency_points(t, i)
+
+    def num_dependencies(self, t: int, i: int) -> int:
+        """Number of inputs of task ``(t, i)``."""
+        return self.spec.num_dependencies(t, i)
+
+    def max_dependencies(self) -> int:
+        """Upper bound on inputs of any task (receive-buffer sizing)."""
+        return self.spec.max_dependencies()
+
+    def points(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(t, i)`` points in timestep-major order."""
+        for t in range(self.timesteps):
+            off = self.offset_at_timestep(t)
+            for i in range(off, off + self.width_at_timestep(t)):
+                yield (t, i)
+
+    # ------------------------------------------------------------------
+    # Whole-graph accounting
+    # ------------------------------------------------------------------
+    def total_tasks(self) -> int:
+        """Number of tasks in the graph."""
+        return sum(self.width_at_timestep(t) for t in range(self.timesteps))
+
+    def total_dependencies(self) -> int:
+        """Number of dependence edges in the graph."""
+        return sum(self.num_dependencies(t, i) for t, i in self.points())
+
+    def total_flops(self) -> int:
+        """Useful FLOPs executed by the whole graph (imbalance-aware)."""
+        k = self.kernel
+        if k.kernel_type in (KernelType.COMPUTE_BOUND, KernelType.COMPUTE_BOUND2):
+            return self.total_tasks() * k.flops_per_task()
+        if k.kernel_type is KernelType.LOAD_IMBALANCE:
+            return sum(k.flops_per_task(t, i, self.seed) for t, i in self.points())
+        return 0
+
+    def total_bytes(self) -> int:
+        """Bytes moved by the memory kernel over the whole graph."""
+        return self.total_tasks() * self.kernel.bytes_per_task()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def prepare_scratch(self) -> np.ndarray:
+        """Allocate and initialize one column's scratch buffer."""
+        return np.zeros(self.scratch_bytes_per_task, dtype=np.uint8)
+
+    def execute_point(
+        self,
+        t: int,
+        i: int,
+        inputs: List[np.ndarray],
+        scratch: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Execute task ``(t, i)``: validate inputs, run the kernel, and
+        return the task's output buffer.
+
+        ``inputs`` must contain the outputs of the task's dependencies in
+        canonical (ascending-column) order, i.e. the order produced by
+        :meth:`dependency_points`.  Every Task Bench runtime shim calls this
+        single entry point, which is what makes implementations comparable
+        (paper §2: "the core library ... ensures the kernels are identical in
+        all systems").
+        """
+        from . import validation  # local import to avoid a cycle
+
+        if validate:
+            validation.validate_inputs(self, t, i, inputs)
+        self.kernel.execute(t, i, scratch=scratch, seed=self.seed)
+        return validation.task_output(self, t, i)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "TaskGraph":
+        """Return a copy of this graph with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the graph configuration."""
+        k = self.kernel
+        return (
+            f"graph {self.graph_index}: {self.timesteps}x{self.max_width} "
+            f"{self.dependence.value} (radix={self.radix}) "
+            f"kernel={k.kernel_type.value} iter={k.iterations} "
+            f"output={self.output_bytes_per_task}B scratch={self.scratch_bytes_per_task}B"
+        )

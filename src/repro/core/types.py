@@ -1,0 +1,91 @@
+"""Enumerations shared across the Task Bench core.
+
+These mirror the dependence and kernel types of the original Task Bench core
+library (Slaughter et al., SC 2020, Table 1).  String values are the names
+accepted on the command line (``task-bench -type stencil_1d`` etc.), matching
+the official CLI vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DependenceType(enum.Enum):
+    """Dependence relation connecting consecutive timesteps of a task graph.
+
+    Each value corresponds to one of the patterns of Figure 1 / Table 2 of the
+    paper, plus the additional patterns supported by the official core
+    library (``nearest``, ``spread``, ``random_nearest``, ...).
+    """
+
+    #: No dependencies at all (embarrassingly parallel).
+    TRIVIAL = "trivial"
+    #: Each task depends only on its own column (serial chains, no comm).
+    NO_COMM = "no_comm"
+    #: 3-point stencil: ``{i-1, i, i+1}`` clipped at the edges.
+    STENCIL_1D = "stencil_1d"
+    #: 3-point stencil with periodic (wrap-around) boundaries.
+    STENCIL_1D_PERIODIC = "stencil_1d_periodic"
+    #: Sweep / wavefront (discrete-ordinates style): ``{i-1, i}``.
+    DOM = "dom"
+    #: Binary fan-out tree; tasks materialize as the tree expands.
+    TREE = "tree"
+    #: FFT butterfly: ``{i, i - 2^s, i + 2^s}`` with stage-dependent stride.
+    FFT = "fft"
+    #: Every task depends on every task of the previous timestep.
+    ALL_TO_ALL = "all_to_all"
+    #: ``radix`` nearest neighbours centred on the consuming task.
+    NEAREST = "nearest"
+    #: ``radix`` dependencies spread maximally across the width.
+    SPREAD = "spread"
+    #: Random subset of a nearest-neighbour window (deterministic per seed).
+    RANDOM_NEAREST = "random_nearest"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def parse(cls, name: str) -> "DependenceType":
+        """Parse a command-line dependence name (case-insensitive)."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(d.value for d in cls)
+            raise ValueError(
+                f"unknown dependence type {name!r}; expected one of: {valid}"
+            ) from None
+
+
+class KernelType(enum.Enum):
+    """Kind of work executed by each task (paper §2, Table 1)."""
+
+    #: No work at all: measures pure runtime overhead (METG(0%) regime).
+    EMPTY = "empty"
+    #: Spin on the clock for a configurable number of microseconds.
+    BUSY_WAIT = "busy_wait"
+    #: Tight FMA-style loop: ``A = A * A + A`` over a 64-wide vector.
+    COMPUTE_BOUND = "compute_bound"
+    #: Variant of the compute kernel with a second accumulator array.
+    COMPUTE_BOUND2 = "compute_bound2"
+    #: Sequential reads/writes over a scratch buffer of constant working set.
+    MEMORY_BOUND = "memory_bound"
+    #: Compute-bound kernel whose duration is scaled by a deterministic
+    #: pseudo-random multiplier in ``[0, 1)`` (paper §5.7).
+    LOAD_IMBALANCE = "load_imbalance"
+    #: Sequential file writes + read-back (official core's IO-bound kernel).
+    IO_BOUND = "io_bound"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def parse(cls, name: str) -> "KernelType":
+        """Parse a command-line kernel name (case-insensitive)."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(k.value for k in cls)
+            raise ValueError(
+                f"unknown kernel type {name!r}; expected one of: {valid}"
+            ) from None

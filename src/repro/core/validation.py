@@ -1,0 +1,115 @@
+"""Full validation of task inputs and outputs (paper §2).
+
+"The output of every task in Task Bench is unique, and all inputs are
+verified.  An assertion is thrown if validation fails.  These checks ensure
+that every execution of Task Bench, if it completes successfully, is
+correct."
+
+The output of task ``(t, i)`` of graph ``g`` is a deterministic byte pattern:
+a 32-byte header packing ``(seed, graph_index, timestep, column)`` as little-
+endian int64s, tiled to fill ``output_bytes_per_task``.  Tiling (rather than
+header-then-zeros) means corruption *anywhere* in a communicated buffer is
+detected, not just in the first bytes.  Any runtime bug — a wrong dependency,
+a stale buffer, a dropped or reordered message — trips a
+:class:`ValidationError` naming the offending task and input.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task_graph import TaskGraph
+
+HEADER_BYTES = 32
+
+
+class ValidationError(AssertionError):
+    """Raised when a task receives an input that does not match the graph
+    specification.  Subclasses :class:`AssertionError` to mirror the paper's
+    "an assertion is thrown if validation fails"."""
+
+
+@lru_cache(maxsize=65536)
+def _output_bytes(seed: int, graph_index: int, t: int, i: int, nbytes: int) -> bytes:
+    """Cached immutable form of a task's output pattern.
+
+    ``(t, i)`` lead the packed header so that even outputs smaller than the
+    full 32 bytes remain unique within a graph; graph_index and seed follow
+    for cross-graph and cross-run uniqueness when the buffer is larger.
+
+    Keyed on plain ints so lookups avoid numpy construction entirely —
+    validation happens on every input of every task, so this is the hottest
+    path of the core library (the paper bounds validation overhead at 3%)."""
+    header = np.array([t, i, graph_index, seed], dtype="<i8").tobytes()
+    reps = -(-nbytes // HEADER_BYTES)  # ceil division
+    return (header * reps)[:nbytes]
+
+
+def task_output(graph: "TaskGraph", t: int, i: int) -> np.ndarray:
+    """The unique output buffer of task ``(t, i)``.
+
+    Deterministic in ``(seed, graph_index, t, i)`` and of length
+    ``graph.output_bytes_per_task``.  Returns a fresh mutable array (the
+    cached pattern backs validation comparisons only).
+    """
+    nbytes = graph.output_bytes_per_task
+    if nbytes == 0:
+        return np.empty(0, dtype=np.uint8)
+    pattern = _output_bytes(graph.seed, graph.graph_index, t, i, nbytes)
+    return np.frombuffer(pattern, dtype=np.uint8).copy()
+
+
+def validate_inputs(
+    graph: "TaskGraph", t: int, i: int, inputs: Sequence[np.ndarray]
+) -> None:
+    """Check that ``inputs`` are exactly the outputs of the dependencies of
+    task ``(t, i)``, in canonical (ascending-column) order.
+
+    Raises
+    ------
+    ValidationError
+        If the number of inputs is wrong or any buffer differs from the
+        expected producer output.
+    """
+    expected_cols = list(graph.dependency_points(t, i)) if t > 0 else []
+    if len(inputs) != len(expected_cols):
+        raise ValidationError(
+            f"task (t={t}, i={i}) of graph {graph.graph_index}: expected "
+            f"{len(expected_cols)} inputs from columns {expected_cols}, "
+            f"got {len(inputs)}"
+        )
+    nbytes = graph.output_bytes_per_task
+    for slot, (col, buf) in enumerate(zip(expected_cols, inputs)):
+        arr = np.asarray(buf, dtype=np.uint8).reshape(-1)
+        expected = _output_bytes(graph.seed, graph.graph_index, t - 1, col, nbytes)
+        if arr.nbytes != nbytes or arr.tobytes() != expected:
+            detail = _describe_buffer(graph, arr)
+            raise ValidationError(
+                f"task (t={t}, i={i}) of graph {graph.graph_index}: input "
+                f"slot {slot} should be the output of (t={t - 1}, i={col}) "
+                f"but {detail}"
+            )
+
+
+def _describe_buffer(graph: "TaskGraph", arr: np.ndarray) -> str:
+    """Best-effort description of an unexpected buffer for error messages."""
+    if arr.nbytes != graph.output_bytes_per_task:
+        return f"has wrong size {arr.nbytes} (expected {graph.output_bytes_per_task})"
+    if arr.nbytes >= HEADER_BYTES:
+        t, i, gidx, seed = arr[:HEADER_BYTES].view("<i8")
+        if seed == graph.seed:
+            return f"is the output of graph {gidx} task (t={t}, i={i})"
+    return "does not match any expected task output"
+
+
+def expected_inputs(graph: "TaskGraph", t: int, i: int) -> List[np.ndarray]:
+    """The exact input buffers task ``(t, i)`` must receive, in canonical
+    order.  Useful for constructing tests and for runtimes that need to
+    seed the first timestep."""
+    if t == 0:
+        return []
+    return [task_output(graph, t - 1, j) for j in graph.dependency_points(t, i)]

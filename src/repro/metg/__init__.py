@@ -1,0 +1,43 @@
+"""METG: minimum effective task granularity (paper §4).
+
+The efficiency-constrained metric for runtime-limited performance, plus the
+sweep/scaling machinery it is computed from.  Works identically against the
+simulator substrate (:class:`~repro.metg.runners.SimRunner`) and real
+executors (:class:`~repro.metg.runners.RealRunner`).
+"""
+
+from .efficiency import (
+    GraphFactory,
+    Measurement,
+    compute_workload,
+    efficiency_curve,
+    measure,
+    memory_workload,
+)
+from .metg import METGResult, METGUnachievable, metg
+from .runners import RealRunner, SimRunner, calibrate_kernel_flops
+from .scaling import (
+    ScalingPoint,
+    strong_scaling,
+    strong_scaling_limit_nodes,
+    weak_scaling,
+)
+
+__all__ = [
+    "GraphFactory",
+    "METGResult",
+    "METGUnachievable",
+    "Measurement",
+    "RealRunner",
+    "ScalingPoint",
+    "SimRunner",
+    "calibrate_kernel_flops",
+    "compute_workload",
+    "efficiency_curve",
+    "measure",
+    "memory_workload",
+    "metg",
+    "strong_scaling",
+    "strong_scaling_limit_nodes",
+    "weak_scaling",
+]

@@ -1,0 +1,133 @@
+"""Minimum effective task granularity — METG (paper §4).
+
+    "METG(50%) for an application A is the smallest average task granularity
+    (i.e., task duration) such that A achieves overall efficiency of at
+    least 50%."
+
+The measurement procedure follows the paper: fix the machine and software
+configuration, sweep the problem size (compute-kernel iterations per task),
+and find where the efficiency curve crosses the target.  The crossing is
+located by a geometric bracket search plus bisection, then the granularity
+at the crossing is log-interpolated between the bracketing measurements
+(the "intersection of this curve with 50% efficiency" of Figure 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .efficiency import GraphFactory, Measurement, measure
+
+
+class METGUnachievable(RuntimeError):
+    """The configuration cannot reach the requested efficiency at any
+    problem size (e.g. reserved cores or load imbalance cap peak below the
+    target, or a controller bound dominates).  The paper omits such
+    system/pattern combinations from its figures (§5.3: "Spark, Swift/T and
+    TensorFlow are omitted ... as the overheads of these systems require
+    excessive problem sizes")."""
+
+
+@dataclass(frozen=True)
+class METGResult:
+    """Outcome of a METG search."""
+
+    metg_seconds: float
+    target_efficiency: float
+    #: Bracketing measurements: just below and at/above the target.
+    below: Measurement | None
+    above: Measurement
+    #: Every measurement taken during the search (the efficiency curve).
+    history: List[Measurement]
+
+    @property
+    def metg_milliseconds(self) -> float:
+        return self.metg_seconds * 1e3
+
+    @property
+    def metg_microseconds(self) -> float:
+        return self.metg_seconds * 1e6
+
+
+def metg(
+    runner,
+    factory: GraphFactory,
+    *,
+    target_efficiency: float = 0.5,
+    metric: str = "flops",
+    start_iterations: int = 1,
+    max_iterations: int = 1 << 36,
+    tolerance: float = 0.02,
+) -> METGResult:
+    """Measure METG(target) for the given runner and workload.
+
+    Raises
+    ------
+    METGUnachievable
+        If efficiency stays below the target all the way to
+        ``max_iterations``.
+    """
+    if not 0.0 < target_efficiency < 1.0:
+        raise ValueError("target_efficiency must be in (0, 1)")
+    history: List[Measurement] = []
+
+    def probe(iterations: int) -> Measurement:
+        m = measure(runner, factory, iterations, metric=metric)
+        history.append(m)
+        return m
+
+    # Phase 1: geometric growth until the target is reached.
+    lo: Measurement | None = None
+    n = max(1, start_iterations)
+    hi = probe(n)
+    while hi.efficiency < target_efficiency:
+        lo = hi
+        if n >= max_iterations:
+            raise METGUnachievable(
+                f"{runner.name}: efficiency peaked at {hi.efficiency:.3f} "
+                f"(target {target_efficiency}) after {n} iterations/task"
+            )
+        n = min(n * 8, max_iterations)
+        hi = probe(n)
+
+    # Phase 2: bisect the bracket in log space.
+    if lo is not None:
+        lo_n, hi_n = lo.iterations, hi.iterations
+        while hi_n > lo_n + 1 and hi_n > lo_n * (1 + tolerance):
+            mid_n = int(round(math.sqrt(lo_n * hi_n)))
+            mid_n = min(max(mid_n, lo_n + 1), hi_n - 1)
+            m = probe(mid_n)
+            if m.efficiency >= target_efficiency:
+                hi, hi_n = m, mid_n
+            else:
+                lo, lo_n = m, mid_n
+
+    return METGResult(
+        metg_seconds=_interpolate_crossing(lo, hi, target_efficiency),
+        target_efficiency=target_efficiency,
+        below=lo,
+        above=hi,
+        history=history,
+    )
+
+
+def _interpolate_crossing(
+    lo: Measurement | None, hi: Measurement, target: float
+) -> float:
+    """Granularity at the exact efficiency crossing.
+
+    Linear interpolation of log-granularity against efficiency between the
+    two bracketing measurements; if the very first probe already met the
+    target (no lower bracket), its granularity is the answer.
+    """
+    if lo is None or hi.efficiency == lo.efficiency:
+        return hi.granularity_seconds
+    frac = (target - lo.efficiency) / (hi.efficiency - lo.efficiency)
+    frac = min(1.0, max(0.0, frac))
+    log_g = (
+        math.log(lo.granularity_seconds)
+        + frac * (math.log(hi.granularity_seconds) - math.log(lo.granularity_seconds))
+    )
+    return math.exp(log_g)

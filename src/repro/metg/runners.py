@@ -1,0 +1,114 @@
+"""Runners: a uniform "execute this workload, report throughput" interface.
+
+METG is measured identically for simulated systems and real executors (the
+paper computes it the same way for all 15 systems); runners hide which
+substrate is underneath.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..core.executor_base import Executor
+from ..core.kernels import FLOPS_PER_ITERATION, execute_kernel_compute
+from ..core.metrics import RunResult
+from ..core.task_graph import TaskGraph
+from ..sim.machine import MachineSpec
+from ..sim.network import ARIES, NetworkModel
+from ..sim.runtime_model import RuntimeModel
+from ..sim.simulator import simulate
+from ..sim.systems import get_system, scaled_for
+
+
+class SimRunner:
+    """Runs workloads on the simulator substrate."""
+
+    def __init__(
+        self,
+        system: RuntimeModel | str,
+        machine: MachineSpec,
+        network: NetworkModel = ARIES,
+        *,
+        scale_reserved: bool = True,
+    ) -> None:
+        model = get_system(system) if isinstance(system, str) else system
+        if scale_reserved:
+            model = scaled_for(model, machine)
+        self.model = model
+        self.machine = machine
+        self.network = network
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    @property
+    def cores(self) -> int:
+        return self.machine.total_cores
+
+    @property
+    def worker_width(self) -> int:
+        """Natural graph width: one column per worker core (paper §2)."""
+        return self.machine.nodes * self.model.worker_cores_per_node(
+            self.machine.cores_per_node
+        )
+
+    @property
+    def peak_flops(self) -> float:
+        """The 100 % efficiency reference: the machine's best measured rate
+        (paper §5.1 uses the empirically-determined peak across systems)."""
+        return self.machine.peak_flops
+
+    @property
+    def peak_bytes_per_second(self) -> float:
+        return self.machine.peak_bytes_per_second
+
+    def run(self, graphs: Sequence[TaskGraph]) -> RunResult:
+        return simulate(graphs, self.machine, self.model, self.network)
+
+
+class RealRunner:
+    """Runs workloads on a real executor of ``repro.runtimes``.
+
+    The peak FLOP/s reference is calibrated empirically — the rate of the
+    actual compute kernel on this host times the worker count — mirroring
+    the paper's empirical calibration of Cori's 1.26 TFLOP/s.
+    """
+
+    def __init__(self, executor: Executor, *, validate: bool = False) -> None:
+        self.executor = executor
+        self.validate = validate
+        self._peak_per_core: float | None = None
+
+    @property
+    def name(self) -> str:
+        return self.executor.name
+
+    @property
+    def cores(self) -> int:
+        return self.executor.cores
+
+    @property
+    def worker_width(self) -> int:
+        return self.executor.cores
+
+    @property
+    def peak_flops(self) -> float:
+        if self._peak_per_core is None:
+            self._peak_per_core = calibrate_kernel_flops()
+        return self._peak_per_core * self.executor.cores
+
+    def run(self, graphs: Sequence[TaskGraph]) -> RunResult:
+        return self.executor.run(graphs, validate=self.validate)
+
+
+def calibrate_kernel_flops(iterations: int = 20_000, repeats: int = 3) -> float:
+    """Measured FLOP/s of the compute kernel on one core of this host."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        execute_kernel_compute(iterations)
+        elapsed = time.perf_counter() - start
+        best = max(best, iterations * FLOPS_PER_ITERATION / elapsed)
+    return best

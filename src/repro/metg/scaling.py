@@ -1,0 +1,124 @@
+"""Weak and strong scaling studies and their relationship to METG
+(paper §4, Figures 4-5).
+
+* Weak scaling: problem size *per node* fixed; width grows with the
+  machine.  A configuration weak-scales at >=50 % efficiency as long as its
+  per-task granularity stays above METG(50%) at that node count.
+* Strong scaling: *total* problem size fixed; per-task work shrinks as the
+  machine grows.  Scaling stops where the shrinking granularity crosses
+  METG(50%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.kernels import Kernel
+from ..core.task_graph import TaskGraph
+from ..core.types import DependenceType, KernelType
+from ..sim.machine import MachineSpec
+from ..sim.network import ARIES, NetworkModel
+from ..sim.runtime_model import RuntimeModel
+from ..sim.simulator import simulate
+from ..sim.systems import scaled_for
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node count of a scaling study."""
+
+    nodes: int
+    iterations_per_task: int
+    wall_seconds: float
+    efficiency: float
+    granularity_seconds: float
+
+
+def _run_at_scale(
+    model: RuntimeModel,
+    machine: MachineSpec,
+    network: NetworkModel,
+    nodes: int,
+    iterations: int,
+    steps: int,
+    dependence: DependenceType,
+    radix: int,
+) -> ScalingPoint:
+    mach = machine.with_nodes(nodes)
+    scaled = scaled_for(model, mach)
+    width = nodes * scaled.worker_cores_per_node(mach.cores_per_node)
+    g = TaskGraph(
+        timesteps=steps,
+        max_width=width,
+        dependence=dependence,
+        radix=radix,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=iterations),
+    )
+    r = simulate([g], mach, scaled, network)
+    return ScalingPoint(
+        nodes=nodes,
+        iterations_per_task=iterations,
+        wall_seconds=r.elapsed_seconds,
+        efficiency=r.flops_per_second / mach.peak_flops,
+        granularity_seconds=r.task_granularity_seconds,
+    )
+
+
+def weak_scaling(
+    model: RuntimeModel,
+    node_counts: Sequence[int],
+    iterations_per_task: int,
+    *,
+    machine: MachineSpec | None = None,
+    network: NetworkModel = ARIES,
+    steps: int = 100,
+    dependence: DependenceType = DependenceType.STENCIL_1D,
+    radix: int = 3,
+) -> List[ScalingPoint]:
+    """Fixed work per task; width (and total work) grows with node count.
+
+    Ideal weak scaling is a flat wall-time line (paper Figure 4)."""
+    machine = machine or MachineSpec()
+    return [
+        _run_at_scale(
+            model, machine, network, n, iterations_per_task, steps, dependence, radix
+        )
+        for n in node_counts
+    ]
+
+
+def strong_scaling(
+    model: RuntimeModel,
+    node_counts: Sequence[int],
+    total_iterations: int,
+    *,
+    machine: MachineSpec | None = None,
+    network: NetworkModel = ARIES,
+    steps: int = 100,
+    dependence: DependenceType = DependenceType.STENCIL_1D,
+    radix: int = 3,
+) -> List[ScalingPoint]:
+    """Fixed total work; per-task work shrinks as the machine grows.
+
+    Ideal strong scaling halves wall time per node doubling (paper
+    Figure 5); scaling stops where granularity hits METG."""
+    machine = machine or MachineSpec()
+    out = []
+    for n in node_counts:
+        mach = machine.with_nodes(n)
+        scaled = scaled_for(model, mach)
+        width = n * scaled.worker_cores_per_node(mach.cores_per_node)
+        iters = max(1, total_iterations // (width * steps))
+        out.append(
+            _run_at_scale(model, machine, network, n, iters, steps, dependence, radix)
+        )
+    return out
+
+
+def strong_scaling_limit_nodes(points: Sequence[ScalingPoint],
+                               threshold: float = 0.5) -> int:
+    """Largest node count still at or above the efficiency threshold —
+    "the point at which strong scaling can be expected to stop" (§4)."""
+    ok = [p.nodes for p in points if p.efficiency >= threshold]
+    return max(ok) if ok else 0

@@ -1,0 +1,49 @@
+"""Real single-host runtime implementations of the Task Bench interface.
+
+One executor per runtime paradigm evaluated in the paper (§3): inline
+serial execution, bulk-synchronous and point-to-point message passing,
+dependency-counted thread tasking, sequential task flow with runtime
+dependence inference, ahead-of-time graph expansion, message-driven actors,
+a centralized controller, and timestep-phased process offload.
+
+All executors drive the same core library (``repro.core``) through the same
+``execute_point`` entry point; every graph validates its own execution.
+"""
+
+from .actors import ActorExecutor
+from .async_rt import AsyncioExecutor
+from .bulk_sync import BulkSyncExecutor
+from .centralized import CentralizedExecutor
+from .dataflow import DataflowExecutor, STFScheduler
+from .futures_rt import FuturesExecutor
+from .p2p import Mailbox, P2PExecutor, block_owner
+from .processes import ProcessPoolExecutor
+from .ptg import ExpandedGraph, PTGExecutor, expand
+from .registry import available_runtimes, make_executor
+from .serial import SerialExecutor
+from .threads import ThreadPoolTaskExecutor
+from ._common import OutputStore, ScratchPool
+
+__all__ = [
+    "ActorExecutor",
+    "AsyncioExecutor",
+    "BulkSyncExecutor",
+    "CentralizedExecutor",
+    "DataflowExecutor",
+    "ExpandedGraph",
+    "FuturesExecutor",
+    "Mailbox",
+    "OutputStore",
+    "P2PExecutor",
+    "PTGExecutor",
+    "ProcessPoolExecutor",
+    "STFScheduler",
+    "ScratchPool",
+    "SerialExecutor",
+    "ScratchPool",
+    "ThreadPoolTaskExecutor",
+    "available_runtimes",
+    "block_owner",
+    "expand",
+    "make_executor",
+]

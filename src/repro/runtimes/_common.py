@@ -1,0 +1,139 @@
+"""Shared machinery for runtime shims.
+
+The paper's core library keeps each system implementation small ("our 15
+Task Bench implementations range from 88 to 1500 lines").  The same applies
+here: executors share the bookkeeping below and differ only in *how* they
+schedule tasks and route buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.task_graph import TaskGraph
+
+#: Task key: (graph_index, timestep, column).
+TaskKey = Tuple[int, int, int]
+
+
+def task_keys(graphs: Sequence[TaskGraph]) -> Iterator[TaskKey]:
+    """All task keys of all graphs, timestep-major and graph-interleaved,
+    the canonical "program order" for sequential-discovery runtimes."""
+    max_t = max(g.timesteps for g in graphs)
+    for t in range(max_t):
+        for g in graphs:
+            if t >= g.timesteps:
+                continue
+            off = g.offset_at_timestep(t)
+            for i in range(off, off + g.width_at_timestep(t)):
+                yield (g.graph_index, t, i)
+
+
+def consumer_count(g: TaskGraph, t: int, i: int) -> int:
+    """How many tasks read the output of ``(t, i)``."""
+    return sum(hi - lo + 1 for lo, hi in g.reverse_dependencies(t, i))
+
+
+class OutputStore:
+    """Thread-safe, reference-counted storage of task outputs.
+
+    Each output is stored with the number of consumers that will read it and
+    is discarded after the last read, so executors hold only the live
+    frontier of the graph (like the ``last_row`` variable of the paper's
+    Dask listing, but correct for asynchronous execution where several
+    timesteps are in flight).
+
+    :meth:`assert_drained` turns forgotten reads — i.e. buffer leaks caused
+    by mis-routed dependencies — into test failures.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[TaskKey, Tuple[np.ndarray, int]] = {}
+
+    def put(self, key: TaskKey, value: np.ndarray, consumers: int) -> None:
+        """Store ``value`` to be read by exactly ``consumers`` tasks."""
+        if consumers <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                raise RuntimeError(f"output for task {key} stored twice")
+            self._data[key] = (value, consumers)
+
+    def take(self, key: TaskKey) -> np.ndarray:
+        """Read one consumer's copy of the output of ``key``."""
+        with self._lock:
+            try:
+                value, remaining = self._data[key]
+            except KeyError:
+                raise RuntimeError(
+                    f"output for task {key} requested but not produced"
+                ) from None
+            if remaining == 1:
+                del self._data[key]
+            else:
+                self._data[key] = (value, remaining - 1)
+            return value
+
+    def gather(self, g: TaskGraph, t: int, i: int) -> List[np.ndarray]:
+        """Collect the inputs of task ``(t, i)`` in canonical order."""
+        if t == 0:
+            return []
+        return [self.take((g.graph_index, t - 1, j)) for j in g.dependency_points(t, i)]
+
+    def assert_drained(self) -> None:
+        """Raise if any outputs were produced but never fully consumed."""
+        with self._lock:
+            if self._data:
+                leaked = sorted(self._data)[:5]
+                raise RuntimeError(
+                    f"{len(self._data)} task outputs never consumed, "
+                    f"e.g. {leaked}"
+                )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class ScratchPool:
+    """Per-column scratch buffers, allocated lazily and reused across
+    timesteps (the official shims thread one scratch buffer through each
+    column — see the Dask listing in the paper)."""
+
+    def __init__(self, graphs: Sequence[TaskGraph]) -> None:
+        self._graphs = {g.graph_index: g for g in graphs}
+        self._lock = threading.Lock()
+        self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def get(self, graph_index: int, column: int) -> np.ndarray | None:
+        g = self._graphs[graph_index]
+        if g.scratch_bytes_per_task == 0:
+            return None
+        key = (graph_index, column)
+        with self._lock:
+            buf = self._buffers.get(key)
+            if buf is None:
+                buf = g.prepare_scratch()
+                self._buffers[key] = buf
+            return buf
+
+
+def run_point(
+    store: OutputStore,
+    scratch: ScratchPool,
+    g: TaskGraph,
+    t: int,
+    i: int,
+    *,
+    validate: bool,
+) -> None:
+    """Gather inputs, execute one task, and publish its output."""
+    inputs = store.gather(g, t, i)
+    out = g.execute_point(
+        t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
+    )
+    store.put((g.graph_index, t, i), out, consumer_count(g, t, i))

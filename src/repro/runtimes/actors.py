@@ -1,0 +1,203 @@
+"""Actor-model executor (Charm++ analogue, paper §3.2).
+
+"Our Task Bench implementation uses a chare array for the task graph, with
+one chare for each column.  Messages implement dependencies; a task executes
+as soon as its dependencies are all available."
+
+Each (graph, column) pair is an actor holding its own timestep cursor and a
+buffer of out-of-order message arrivals.  Message delivery is asynchronous:
+when the arrival completes an actor's input set for its next timestep, the
+actor is scheduled onto the worker pool.  Because activation is purely
+message-driven, independent graphs and independent columns interleave freely
+— the task parallelism that lets actor systems hide communication and
+mitigate load imbalance (paper §5.6-5.7).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import ScratchPool
+
+
+class _Actor:
+    """One chare: a column of one graph."""
+
+    def __init__(self, graph: TaskGraph, column: int) -> None:
+        self.graph = graph
+        self.column = column
+        self.lock = threading.Lock()
+        # next timestep this actor will execute (skipping timesteps where
+        # the column is inactive, e.g. during tree fan-out)
+        self.next_t = self._first_active_t()
+        # out-of-order arrivals: t -> {producer column -> buffer}
+        self.inbox: Dict[int, Dict[int, np.ndarray]] = {}
+        self.scheduled = False
+
+    def _first_active_t(self) -> int:
+        g = self.graph
+        for t in range(g.timesteps):
+            if g.contains_point(t, self.column):
+                return t
+        return g.timesteps  # column never active
+
+    def advance(self) -> None:
+        g = self.graph
+        t = self.next_t + 1
+        while t < g.timesteps and not g.contains_point(t, self.column):
+            t += 1
+        self.next_t = t
+
+    def done(self) -> bool:
+        return self.next_t >= self.graph.timesteps
+
+    def ready_locked(self) -> bool:
+        """Whether all inputs for ``next_t`` have arrived.  Caller holds
+        ``self.lock``."""
+        if self.done():
+            return False
+        t = self.next_t
+        if t == 0:
+            return True
+        needed = self.graph.num_dependencies(t, self.column)
+        return len(self.inbox.get(t, {})) == needed
+
+    def take_inputs(self) -> List[np.ndarray]:
+        """Inputs for ``next_t`` in canonical order.  Caller guarantees
+        readiness."""
+        t = self.next_t
+        if t == 0:
+            return []
+        # Zero-dependency tasks (e.g. the trivial pattern) have no inbox
+        # entry at all, hence the default.
+        arrived = self.inbox.pop(t, {})
+        return [arrived[j] for j in self.graph.dependency_points(t, self.column)]
+
+
+class ActorExecutor(Executor):
+    """Message-driven actors executed by a worker pool."""
+
+    name = "actors"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def cores(self) -> int:
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        actors: Dict[Tuple[int, int], _Actor] = {
+            (g.graph_index, i): _Actor(g, i)
+            for g in graphs
+            for i in range(g.max_width)
+        }
+        scratch = ScratchPool(graphs)
+        total = sum(g.total_tasks() for g in graphs)
+
+        cv = threading.Condition()
+        run_queue: List[_Actor] = []
+        state = {"remaining": total, "error": None}
+
+        def schedule(actor: _Actor) -> None:
+            """Enqueue an actor whose next task is ready.  Caller holds
+            ``actor.lock``; ``scheduled`` prevents double-enqueueing."""
+            if actor.scheduled:
+                return
+            actor.scheduled = True
+            with cv:
+                run_queue.append(actor)
+                cv.notify()
+
+        def deliver(dest: _Actor, t: int, producer: int, buf: np.ndarray) -> None:
+            with dest.lock:
+                dest.inbox.setdefault(t, {})[producer] = buf
+                if dest.ready_locked():
+                    schedule(dest)
+
+        def fire(actor: _Actor) -> None:
+            """Execute the actor's next task and send its outputs.
+
+            ``actor.scheduled`` stays True for the whole execution so that
+            concurrent message deliveries cannot re-enqueue the actor while
+            it runs; readiness is re-checked after advancing."""
+            g = actor.graph
+            with actor.lock:
+                t = actor.next_t
+                inputs = actor.take_inputs()
+            out = g.execute_point(
+                t,
+                actor.column,
+                inputs,
+                scratch=scratch.get(g.graph_index, actor.column),
+                validate=validate,
+            )
+            for j in g.reverse_dependency_points(t, actor.column):
+                deliver(actors[(g.graph_index, j)], t + 1, actor.column, out)
+            with actor.lock:
+                actor.advance()
+                # A successor timestep may already be ready (e.g. no deps,
+                # or all messages arrived while this task ran).
+                if actor.ready_locked():
+                    requeue = True  # keep .scheduled held
+                else:
+                    actor.scheduled = False
+                    requeue = False
+            if requeue:
+                with cv:
+                    run_queue.append(actor)
+                    cv.notify()
+            with cv:
+                state["remaining"] -= 1
+                cv.notify_all()
+
+        # Seed: actors whose first task has no dependencies.
+        for actor in actors.values():
+            with actor.lock:
+                if actor.ready_locked():
+                    schedule(actor)
+
+        def worker() -> None:
+            try:
+                while True:
+                    with cv:
+                        while True:
+                            if state["error"] is not None:
+                                return
+                            if run_queue:
+                                actor = run_queue.pop()
+                                break
+                            if state["remaining"] == 0:
+                                return
+                            cv.wait(timeout=0.05)
+                    fire(actor)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                with cv:
+                    if state["error"] is None:
+                        state["error"] = exc
+                    cv.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, name=f"actor-worker-{w}", daemon=True)
+            for w in range(self.workers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if state["error"] is not None:
+            raise state["error"]
+        if state["remaining"] != 0:
+            raise RuntimeError(
+                f"{state['remaining']} tasks never became ready "
+                "(message routing bug)"
+            )

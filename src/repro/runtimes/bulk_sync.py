@@ -1,0 +1,57 @@
+"""Bulk-synchronous executor (MPI bulk-sync analogue, paper §3.4).
+
+Distinct computation and communication phases with a barrier between
+timesteps: all tasks of timestep ``t`` complete before any task of ``t + 1``
+starts.  The phase structure is what makes this model vulnerable to load
+imbalance (paper §5.7: "the MPI implementation of Task Bench, with its
+distinct computation and communication phases, suffers the most").
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, run_point
+
+
+class BulkSyncExecutor(Executor):
+    """Thread-pool execution with a barrier after every timestep."""
+
+    name = "bulk_sync"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def cores(self) -> int:
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        store = OutputStore()
+        scratch = ScratchPool(graphs)
+        max_t = max(g.timesteps for g in graphs)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for t in range(max_t):
+                futures = []
+                for g in graphs:
+                    if t >= g.timesteps:
+                        continue
+                    off = g.offset_at_timestep(t)
+                    for i in range(off, off + g.width_at_timestep(t)):
+                        futures.append(
+                            pool.submit(
+                                run_point, store, scratch, g, t, i, validate=validate
+                            )
+                        )
+                # The barrier: every task of this timestep must finish (and
+                # any failure propagate) before the next timestep launches.
+                for f in futures:
+                    f.result()
+        store.assert_drained()

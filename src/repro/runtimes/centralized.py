@@ -1,0 +1,133 @@
+"""Centralized-controller executor (Spark / Dask-distributed analogue,
+paper §3.3, §3.11).
+
+A single controller thread owns all scheduling state: it discovers ready
+tasks, dispatches them one at a time to worker queues, and processes
+completion notifications.  Total task throughput is therefore bounded by the
+controller's per-task dispatch cost — the architectural property behind
+Spark's line in Figure 9 rising immediately with node count ("Spark uses a
+centralized controller, which limits throughput").
+
+``dispatch_overhead_us`` injects additional controller work per task so the
+throughput ceiling can be made explicit in local experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Dict, Sequence
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, TaskKey, run_point
+
+
+class CentralizedExecutor(Executor):
+    """Controller thread + worker pool with per-task dispatch."""
+
+    name = "centralized"
+
+    def __init__(self, workers: int = 2, dispatch_overhead_us: float = 0.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if dispatch_overhead_us < 0:
+            raise ValueError("dispatch_overhead_us must be >= 0")
+        self.workers = workers
+        self.dispatch_overhead_us = dispatch_overhead_us
+
+    @property
+    def cores(self) -> int:
+        # The controller occupies a core of its own, like a Spark driver.
+        return self.workers + 1
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        by_index = {g.graph_index: g for g in graphs}
+        store = OutputStore()
+        scratch = ScratchPool(graphs)
+
+        # Controller-owned scheduling state (no locks needed: only the
+        # controller thread touches it).
+        pending: Dict[TaskKey, int] = {}
+        ready: list[TaskKey] = []
+        for g in graphs:
+            for t, i in g.points():
+                key = (g.graph_index, t, i)
+                ndeps = g.num_dependencies(t, i)
+                if ndeps == 0:
+                    ready.append(key)
+                else:
+                    pending[key] = ndeps
+        remaining = sum(g.total_tasks() for g in graphs)
+
+        work_queues = [queue.Queue() for _ in range(self.workers)]
+        completions: queue.Queue = queue.Queue()
+
+        def worker_main(wq: queue.Queue) -> None:
+            while True:
+                item = wq.get()
+                if item is None:
+                    return
+                gi, t, i = item
+                try:
+                    run_point(store, scratch, by_index[gi], t, i, validate=validate)
+                    completions.put(("done", item))
+                except BaseException as exc:  # noqa: BLE001 - sent to controller
+                    completions.put(("error", exc))
+                    return
+
+        threads = [
+            threading.Thread(target=worker_main, args=(wq,), daemon=True,
+                             name=f"centralized-worker-{w}")
+            for w, wq in enumerate(work_queues)
+        ]
+        for th in threads:
+            th.start()
+
+        error: BaseException | None = None
+        try:
+            rr = itertools.cycle(range(self.workers))
+            in_flight = 0
+            while remaining > 0:
+                # Dispatch every currently-ready task, round-robin, paying
+                # the controller's per-task cost inline.
+                while ready and error is None:
+                    key = ready.pop()
+                    if self.dispatch_overhead_us:
+                        deadline = time.perf_counter() + self.dispatch_overhead_us * 1e-6
+                        while time.perf_counter() < deadline:
+                            pass
+                    work_queues[next(rr)].put(key)
+                    in_flight += 1
+                if in_flight == 0:
+                    break  # an error drained the pipeline
+                kind, payload = completions.get()
+                in_flight -= 1
+                if kind == "error":
+                    # Abandon outstanding work: tasks queued behind the
+                    # failure may never complete (their worker is gone).
+                    error = payload
+                    break
+                gi, t, i = payload
+                remaining -= 1
+                g = by_index[gi]
+                for j in g.reverse_dependency_points(t, i):
+                    skey = (gi, t + 1, j)
+                    left = pending[skey] - 1
+                    if left == 0:
+                        del pending[skey]
+                        ready.append(skey)
+                    else:
+                        pending[skey] = left
+        finally:
+            for wq in work_queues:
+                wq.put(None)
+            for th in threads:
+                th.join()
+        if error is not None:
+            raise error
+        store.assert_drained()

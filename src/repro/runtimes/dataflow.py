@@ -1,0 +1,214 @@
+"""Sequential-task-flow executor (PaRSEC DTD / StarPU analogue, paper
+§3.8, §3.12).
+
+The defining property of the dynamic-task-discovery model is that the
+program never states dependencies explicitly: a main thread enumerates tasks
+in *program order*, declaring only which data each task reads and writes,
+and the runtime infers task-to-task edges from those accesses ("a task
+depends on another task if it reads data written by the other task").
+
+Each (graph, column, field) triple is a data item, where ``field = t mod
+nb_fields`` rotates buffers across timesteps exactly like the official STF
+shims double-buffer their columns (the core library's ``nb_fields``
+parameter).  Task ``(t, i)`` reads the field written at ``t - 1`` of its
+dependency columns and writes its own column's field ``t mod nb_fields``.
+The scheduler derives read-after-write, write-after-read and
+write-after-write edges and executes the discovered DAG on a worker pool
+while discovery is still ongoing.  With ``nb_fields = 1`` the model degrades
+to strict in-place semantics, which over-serializes — a measurable ablation
+(see ``benchmarks/bench_ablation_nb_fields.py``).
+
+Validation closes the loop: if the inferred edges were insufficient, a task
+would run with a stale buffer and the core library would throw.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, TaskKey, run_point, task_keys
+
+DataItem = Tuple[int, int, int]  # (graph_index, column, field)
+
+
+@dataclass
+class _ItemState:
+    """Access history of one data item, as seen in program order."""
+
+    last_writer: TaskKey | None = None
+    readers: Set[TaskKey] = field(default_factory=set)
+
+
+class STFScheduler:
+    """Infers the DAG from sequential read/write declarations and runs it.
+
+    Thread-safe: ``submit`` is called from the discovery thread while worker
+    threads retire tasks concurrently.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._items: Dict[DataItem, _ItemState] = {}
+        self._pending: Dict[TaskKey, int] = {}
+        self._successors: Dict[TaskKey, List[TaskKey]] = {}
+        self._completed: Set[TaskKey] = set()
+        self._ready: List[TaskKey] = []
+        self._bodies: Dict[TaskKey, object] = {}
+        self._submitted = 0
+        self._retired = 0
+        self._discovery_done = False
+        self._error: BaseException | None = None
+        #: Edges inferred during discovery, by kind (for tests/inspection).
+        self.edge_counts = {"raw": 0, "war": 0, "waw": 0}
+
+    # -- discovery side -------------------------------------------------
+    def submit(self, key: TaskKey, reads: Sequence[DataItem], write: DataItem,
+               body) -> None:
+        """Declare task ``key`` reading ``reads`` and writing ``write``."""
+        with self._cv:
+            if self._error is not None:
+                raise self._error
+            preds: Set[TaskKey] = set()
+            for item in reads:
+                st = self._items.setdefault(item, _ItemState())
+                if st.last_writer is not None:
+                    preds.add(st.last_writer)
+                    self.edge_counts["raw"] += 1
+                st.readers.add(key)
+            wst = self._items.setdefault(write, _ItemState())
+            for reader in wst.readers:
+                if reader != key:
+                    preds.add(reader)
+                    self.edge_counts["war"] += 1
+            if wst.last_writer is not None:
+                preds.add(wst.last_writer)
+                self.edge_counts["waw"] += 1
+            wst.last_writer = key
+            wst.readers = {key} if key in wst.readers else set()
+
+            live_preds = {p for p in preds if p not in self._completed}
+            self._bodies[key] = body
+            self._submitted += 1
+            for p in live_preds:
+                self._successors.setdefault(p, []).append(key)
+            if live_preds:
+                self._pending[key] = len(live_preds)
+            else:
+                self._ready.append(key)
+                self._cv.notify()
+
+    def finish_discovery(self) -> None:
+        with self._cv:
+            self._discovery_done = True
+            self._cv.notify_all()
+
+    # -- execution side ---------------------------------------------------
+    def _next(self) -> TaskKey | None:
+        with self._cv:
+            while True:
+                if self._error is not None:
+                    raise self._error
+                if self._ready:
+                    return self._ready.pop()
+                if self._discovery_done and self._retired == self._submitted:
+                    return None
+                self._cv.wait(timeout=0.05)
+
+    def _retire(self, key: TaskKey) -> None:
+        with self._cv:
+            self._completed.add(key)
+            self._retired += 1
+            for succ in self._successors.pop(key, ()):
+                left = self._pending[succ] - 1
+                if left == 0:
+                    del self._pending[succ]
+                    self._ready.append(succ)
+                else:
+                    self._pending[succ] = left
+            self._cv.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cv:
+            if self._error is None:
+                self._error = exc
+            self._cv.notify_all()
+
+    def worker_main(self) -> None:
+        try:
+            while True:
+                key = self._next()
+                if key is None:
+                    return
+                self._bodies.pop(key)()
+                self._retire(key)
+        except BaseException as exc:  # noqa: BLE001 - propagated to run()
+            self.fail(exc)
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+
+class DataflowExecutor(Executor):
+    """Sequential task discovery with runtime dependence inference."""
+
+    name = "dataflow"
+
+    def __init__(self, workers: int = 2, nb_fields: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if nb_fields < 1:
+            raise ValueError(f"nb_fields must be >= 1, got {nb_fields}")
+        self.workers = workers
+        self.nb_fields = nb_fields
+
+    @property
+    def cores(self) -> int:
+        # The discovery thread plays the role of the runtime's inline
+        # main thread; workers execute tasks.
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        by_index = {g.graph_index: g for g in graphs}
+        sched = STFScheduler(self.workers)
+        store = OutputStore()
+        scratch = ScratchPool(graphs)
+
+        threads = [
+            threading.Thread(target=sched.worker_main, name=f"stf-worker-{w}",
+                             daemon=True)
+            for w in range(self.workers)
+        ]
+        for th in threads:
+            th.start()
+
+        try:
+            nf = self.nb_fields
+            for gi, t, i in task_keys(graphs):
+                g = by_index[gi]
+                reads = (
+                    [(gi, j, (t - 1) % nf) for j in g.dependency_points(t, i)]
+                    if t
+                    else []
+                )
+                body = (
+                    lambda g=g, t=t, i=i: run_point(
+                        store, scratch, g, t, i, validate=validate
+                    )
+                )
+                sched.submit((gi, t, i), reads, (gi, i, t % nf), body)
+        finally:
+            sched.finish_discovery()
+            for th in threads:
+                th.join()
+        if sched.error is not None:
+            raise sched.error
+        store.assert_drained()

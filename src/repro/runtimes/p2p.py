@@ -1,0 +1,219 @@
+"""Point-to-point message-passing executor (MPI p2p analogue, paper §3.4).
+
+Columns are block-partitioned across ``workers`` ranks, exactly like an MPI
+Task Bench run maps columns to ranks.  Each rank advances timestep by
+timestep: receive the inputs its tasks need from other ranks' posted
+messages, execute, then send outputs to consumer ranks.  Sends are
+non-blocking (mailbox posts), receives block until the message arrives —
+the ``MPI_Isend``/``MPI_Irecv`` structure of the paper's best-performing MPI
+variant.  Unlike :class:`~repro.runtimes.bulk_sync.BulkSyncExecutor` there
+is no global barrier: ranks drift apart as far as the dependence pattern
+allows.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, TaskKey
+
+
+class _ExecutionFailure:
+    """Shared failure flag so one rank's error releases all blocked ranks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.error: BaseException | None = None
+
+    def set(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = exc
+
+    def check(self) -> None:
+        with self._lock:
+            if self.error is not None:
+                raise self.error
+
+
+class Mailbox:
+    """Per-rank incoming message store keyed by producer task.
+
+    ``post`` is non-blocking; ``recv`` blocks until the keyed message is
+    available, then decrements its local reference count (several consumer
+    columns on one rank may read the same remote output).
+    """
+
+    def __init__(self, failure: _ExecutionFailure) -> None:
+        self._cond = threading.Condition()
+        self._messages: Dict[TaskKey, Tuple[np.ndarray, int]] = {}
+        self._failure = failure
+
+    def post(self, key: TaskKey, value: np.ndarray, consumers: int) -> None:
+        with self._cond:
+            if key in self._messages:
+                raise RuntimeError(f"duplicate message for {key}")
+            self._messages[key] = (value, consumers)
+            self._cond.notify_all()
+
+    def recv(self, key: TaskKey) -> np.ndarray:
+        with self._cond:
+            while key not in self._messages:
+                self._failure.check()
+                self._cond.wait(timeout=0.05)
+            value, remaining = self._messages[key]
+            if remaining == 1:
+                del self._messages[key]
+            else:
+                self._messages[key] = (value, remaining - 1)
+            return value
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._messages)
+
+
+def block_owner(column: int, width: int, ranks: int) -> int:
+    """Rank owning ``column`` under block partitioning (MPI-style)."""
+    return min(column * ranks // width, ranks - 1)
+
+
+class P2PExecutor(Executor):
+    """Rank-per-thread executor with point-to-point message passing."""
+
+    name = "p2p"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def cores(self) -> int:
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        failure = _ExecutionFailure()
+        mailboxes = [Mailbox(failure) for _ in range(self.workers)]
+        locals_ = [OutputStore() for _ in range(self.workers)]
+        scratch = ScratchPool(graphs)
+
+        threads = [
+            threading.Thread(
+                target=self._rank_main,
+                args=(rank, graphs, mailboxes, locals_[rank], scratch, failure,
+                      validate),
+                name=f"p2p-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.workers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        failure.check()
+        for rank in range(self.workers):
+            locals_[rank].assert_drained()
+            if len(mailboxes[rank]):
+                raise RuntimeError(f"rank {rank} has undelivered messages")
+
+    # ------------------------------------------------------------------
+    def _rank_main(
+        self,
+        rank: int,
+        graphs: Sequence[TaskGraph],
+        mailboxes: List[Mailbox],
+        local: OutputStore,
+        scratch: ScratchPool,
+        failure: _ExecutionFailure,
+        validate: bool,
+    ) -> None:
+        try:
+            self._rank_loop(rank, graphs, mailboxes, local, scratch, failure,
+                            validate)
+        except BaseException as exc:  # noqa: BLE001 - propagated to main thread
+            failure.set(exc)
+            for mb in mailboxes:
+                mb.wake()
+
+    def _rank_loop(
+        self,
+        rank: int,
+        graphs: Sequence[TaskGraph],
+        mailboxes: List[Mailbox],
+        local: OutputStore,
+        scratch: ScratchPool,
+        failure: _ExecutionFailure,
+        validate: bool,
+    ) -> None:
+        max_t = max(g.timesteps for g in graphs)
+        for t in range(max_t):
+            for g in graphs:
+                if t >= g.timesteps:
+                    continue
+                off = g.offset_at_timestep(t)
+                for i in range(off, off + g.width_at_timestep(t)):
+                    if block_owner(i, g.max_width, self.workers) != rank:
+                        continue
+                    self._run_task(rank, g, t, i, mailboxes, local, scratch,
+                                   validate)
+
+    def _run_task(
+        self,
+        rank: int,
+        g: TaskGraph,
+        t: int,
+        i: int,
+        mailboxes: List[Mailbox],
+        local: OutputStore,
+        scratch: ScratchPool,
+        validate: bool,
+    ) -> None:
+        inputs = []
+        if t > 0:
+            for j in g.dependency_points(t, i):
+                key = (g.graph_index, t - 1, j)
+                if block_owner(j, g.max_width, self.workers) == rank:
+                    inputs.append(local.take(key))
+                else:
+                    inputs.append(mailboxes[rank].recv(key))
+        out = g.execute_point(
+            t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
+        )
+        self._deliver(rank, g, t, i, out, mailboxes, local)
+
+    def _deliver(
+        self,
+        rank: int,
+        g: TaskGraph,
+        t: int,
+        i: int,
+        out: np.ndarray,
+        mailboxes: List[Mailbox],
+        local: OutputStore,
+    ) -> None:
+        # Count consumer columns per destination rank, then send each remote
+        # rank the message once (with its local consumer count) and keep a
+        # refcounted local copy for same-rank consumers.
+        per_rank: Dict[int, int] = {}
+        for j in g.reverse_dependency_points(t, i):
+            dest = block_owner(j, g.max_width, self.workers)
+            per_rank[dest] = per_rank.get(dest, 0) + 1
+        key = (g.graph_index, t, i)
+        for dest, consumers in per_rank.items():
+            if dest == rank:
+                local.put(key, out, consumers)
+            else:
+                mailboxes[dest].post(key, out, consumers)

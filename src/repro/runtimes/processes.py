@@ -1,0 +1,113 @@
+"""Process-pool executor (MPI+X offload analogue, paper §3.5).
+
+Tasks of each timestep are shipped to a pool of worker *processes* in
+column chunks; inputs and outputs cross address spaces by serialization,
+like the per-timestep offload of the paper's MPI+CUDA shim ("data is copied
+to and from the GPU on every timestep").  The timestep-phased structure
+mirrors the hierarchical MPI+X model: a barrier per timestep, parallelism
+within it.
+
+Scratch buffers live per worker process (their *content* carries no
+cross-timestep semantics — the memory kernel only needs a working set), so
+only task inputs/outputs are serialized.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, consumer_count
+
+# Per-process caches, initialized lazily inside workers.
+_WORKER_GRAPHS: Dict[int, TaskGraph] = {}
+_WORKER_SCRATCH: Dict[int, np.ndarray] = {}
+
+
+def _worker_init(graphs: Sequence[TaskGraph]) -> None:
+    _WORKER_GRAPHS.clear()
+    _WORKER_SCRATCH.clear()
+    for g in graphs:
+        _WORKER_GRAPHS[g.graph_index] = g
+
+
+def _worker_chunk(
+    args: Tuple[int, int, List[int], List[List[np.ndarray]], bool],
+) -> List[Tuple[int, np.ndarray]]:
+    """Execute a chunk of columns of one (graph, timestep) in a worker
+    process.  Returns ``(column, output)`` pairs."""
+    graph_index, t, columns, inputs_per_column, validate = args
+    g = _WORKER_GRAPHS[graph_index]
+    scratch = None
+    if g.scratch_bytes_per_task:
+        scratch = _WORKER_SCRATCH.get(graph_index)
+        if scratch is None or scratch.nbytes != g.scratch_bytes_per_task:
+            scratch = g.prepare_scratch()
+            _WORKER_SCRATCH[graph_index] = scratch
+    out = []
+    for i, inputs in zip(columns, inputs_per_column):
+        out.append((i, g.execute_point(t, i, inputs, scratch=scratch,
+                                       validate=validate)))
+    return out
+
+
+class ProcessPoolExecutor(Executor):
+    """Timestep-phased execution over a multiprocessing pool."""
+
+    name = "processes"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def cores(self) -> int:
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        store = OutputStore()
+        max_t = max(g.timesteps for g in graphs)
+        ctx = mp.get_context("fork")
+        with ctx.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(list(graphs),),
+        ) as pool:
+            for t in range(max_t):
+                chunks = []
+                for g in graphs:
+                    if t >= g.timesteps:
+                        continue
+                    off = g.offset_at_timestep(t)
+                    active = list(range(off, off + g.width_at_timestep(t)))
+                    for cols in _split(active, self.workers):
+                        inputs = [store.gather(g, t, i) for i in cols]
+                        chunks.append((g.graph_index, t, cols, inputs, validate))
+                for (gi, tt, _cols, _inp, _v), results in zip(
+                    chunks, pool.map(_worker_chunk, chunks)
+                ):
+                    g = next(gr for gr in graphs if gr.graph_index == gi)
+                    for i, out in results:
+                        store.put((gi, tt, i), out, consumer_count(g, tt, i))
+        store.assert_drained()
+
+
+def _split(items: List[int], parts: int) -> List[List[int]]:
+    """Split ``items`` into at most ``parts`` contiguous, balanced chunks."""
+    parts = min(parts, len(items))
+    if parts == 0:
+        return []
+    size, extra = divmod(len(items), parts)
+    out, pos = [], 0
+    for p in range(parts):
+        n = size + (1 if p < extra else 0)
+        out.append(items[pos : pos + n])
+        pos += n
+    return out

@@ -1,0 +1,58 @@
+"""Executor registry: name -> factory.
+
+Mirrors the role of Table 3: one entry per runtime paradigm, all driving the
+same core library.  New executors self-contained in one module + one line
+here — the O(m + n) property of the paper's design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.executor_base import Executor
+from .actors import ActorExecutor
+from .async_rt import AsyncioExecutor
+from .bulk_sync import BulkSyncExecutor
+from .centralized import CentralizedExecutor
+from .dataflow import DataflowExecutor
+from .futures_rt import FuturesExecutor
+from .p2p import P2PExecutor
+from .processes import ProcessPoolExecutor
+from .ptg import PTGExecutor
+from .serial import SerialExecutor
+from .threads import ThreadPoolTaskExecutor
+
+_FACTORIES: Dict[str, Callable[..., Executor]] = {
+    "serial": lambda workers=1, **kw: SerialExecutor(),
+    "bulk_sync": lambda workers=2, **kw: BulkSyncExecutor(workers),
+    "p2p": lambda workers=2, **kw: P2PExecutor(workers),
+    "threads": lambda workers=2, **kw: ThreadPoolTaskExecutor(workers),
+    "processes": lambda workers=2, **kw: ProcessPoolExecutor(workers),
+    "dataflow": lambda workers=2, **kw: DataflowExecutor(workers, **kw),
+    "futures": lambda workers=2, **kw: FuturesExecutor(workers),
+    "asyncio": lambda workers=2, **kw: AsyncioExecutor(workers),
+    "ptg": lambda workers=2, **kw: PTGExecutor(workers),
+    "actors": lambda workers=2, **kw: ActorExecutor(workers),
+    "centralized": lambda workers=2, **kw: CentralizedExecutor(workers, **kw),
+}
+
+
+def available_runtimes() -> List[str]:
+    """Names of all registered executors."""
+    return sorted(_FACTORIES)
+
+
+def make_executor(name: str, workers: int = 2, **kwargs) -> Executor:
+    """Instantiate a registered executor by name.
+
+    ``workers`` is the degree of parallelism; extra keyword arguments are
+    forwarded to executors that accept them (e.g. ``nb_fields`` for
+    ``dataflow``, ``dispatch_overhead_us`` for ``centralized``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime {name!r}; available: {', '.join(available_runtimes())}"
+        ) from None
+    return factory(workers=workers, **kwargs)

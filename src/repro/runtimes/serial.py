@@ -1,0 +1,35 @@
+"""Inline sequential executor.
+
+The limit case of a runtime with no scheduling machinery at all: tasks run
+one after another in timestep order on the calling thread.  Analogous to the
+paper's observation that the MPI shim "simply executes tasks one after
+another in alternation with communication phases" — minus the communication.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, run_point, task_keys
+
+
+class SerialExecutor(Executor):
+    """Run every task inline on the calling thread, in program order."""
+
+    name = "serial"
+
+    @property
+    def cores(self) -> int:
+        return 1
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        by_index = {g.graph_index: g for g in graphs}
+        store = OutputStore()
+        scratch = ScratchPool(graphs)
+        for gi, t, i in task_keys(graphs):
+            run_point(store, scratch, by_index[gi], t, i, validate=validate)
+        store.assert_drained()

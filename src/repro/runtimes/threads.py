@@ -1,0 +1,119 @@
+"""Task-dependency thread-pool executor (OpenMP-task / OmpSs analogue,
+paper §3.6-3.7).
+
+The whole DAG is driven by dependency counting: every task knows how many
+inputs it still waits for; completing a task decrements its consumers and
+enqueues those that become ready.  Workers pull from a shared ready deque —
+the classic shared-memory tasking model of OpenMP 4.0 ``task depend``.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Dict, Sequence
+
+from ..core.executor_base import Executor
+from ..core.task_graph import TaskGraph
+from ._common import OutputStore, ScratchPool, TaskKey, run_point
+
+
+class DependencyCountingScheduler:
+    """Shared state: ready queue, pending-input counters, completion latch."""
+
+    def __init__(self, graphs: Sequence[TaskGraph]) -> None:
+        self.graphs = {g.graph_index: g for g in graphs}
+        self.lock = threading.Lock()
+        self.ready: collections.deque[TaskKey] = collections.deque()
+        self.ready_cv = threading.Condition(self.lock)
+        self.pending: Dict[TaskKey, int] = {}
+        self.remaining = 0
+        self.error: BaseException | None = None
+        for g in graphs:
+            for t, i in g.points():
+                key = (g.graph_index, t, i)
+                ndeps = g.num_dependencies(t, i)
+                self.remaining += 1
+                if ndeps == 0:
+                    self.ready.append(key)
+                else:
+                    self.pending[key] = ndeps
+
+    def next_task(self) -> TaskKey | None:
+        """Block until a task is ready; ``None`` when the DAG is complete."""
+        with self.ready_cv:
+            while True:
+                if self.error is not None:
+                    raise self.error
+                if self.ready:
+                    return self.ready.popleft()
+                if self.remaining == 0:
+                    return None
+                self.ready_cv.wait(timeout=0.05)
+
+    def complete(self, g: TaskGraph, t: int, i: int) -> None:
+        """Record completion and release any newly-ready consumers."""
+        with self.ready_cv:
+            self.remaining -= 1
+            for j in g.reverse_dependency_points(t, i):
+                key = (g.graph_index, t + 1, j)
+                left = self.pending[key] - 1
+                if left == 0:
+                    del self.pending[key]
+                    self.ready.append(key)
+                else:
+                    self.pending[key] = left
+            self.ready_cv.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self.ready_cv:
+            if self.error is None:
+                self.error = exc
+            self.ready_cv.notify_all()
+
+
+class ThreadPoolTaskExecutor(Executor):
+    """Worker threads executing a dependency-counted task DAG."""
+
+    name = "threads"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def cores(self) -> int:
+        return self.workers
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        sched = DependencyCountingScheduler(graphs)
+        store = OutputStore()
+        scratch = ScratchPool(graphs)
+
+        def worker() -> None:
+            try:
+                while True:
+                    key = sched.next_task()
+                    if key is None:
+                        return
+                    gi, t, i = key
+                    g = sched.graphs[gi]
+                    run_point(store, scratch, g, t, i, validate=validate)
+                    sched.complete(g, t, i)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                sched.fail(exc)
+
+        threads = [
+            threading.Thread(target=worker, name=f"task-worker-{w}", daemon=True)
+            for w in range(self.workers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if sched.error is not None:
+            raise sched.error
+        store.assert_drained()

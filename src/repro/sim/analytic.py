@@ -1,0 +1,176 @@
+"""Closed-form performance model for regular phased execution.
+
+For the MPI-style phased models running a single regular task graph with
+one column per worker core, steady-state behaviour has a closed form.  Per
+timestep, every core pays
+
+    T = kernel + task_overhead + R * dep_overhead + S * send_overhead
+        + nodes * dynamic_check
+
+with ``R``/``S`` the remote receive/send counts of an interior column, and
+the dependence chain between neighbouring columns adds the effective
+cross-node latency ``L`` once per timestep (the max-mean-cycle of the
+timestep-unrolled dependence graph: any two columns in a mutual-dependence
+cycle across a node boundary bound the steady-state rate at ``T + L``).
+
+Hence::
+
+    timestep  =  T + L
+    efficiency(kernel) = kernel / (T + L)
+    METG(tau) = (overhead + L) / (1 - tau)          [granularity units]
+
+and the centralized-controller bound METG(tau) >= total_cores /
+controller_tasks_per_s (the controller serializes dispatch, so granularity
+cannot drop below cores/throughput while keeping cores busy).
+
+The discrete-event simulator remains the source of truth; this module is
+the fast cross-check (the test suite validates the two against each other)
+and the back-of-envelope calculator for calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.types import DependenceType
+from .machine import MachineSpec
+from .network import NetworkModel
+from .runtime_model import RuntimeModel
+
+#: Patterns with a closed-form interior communication count.
+_SUPPORTED = {
+    DependenceType.TRIVIAL,
+    DependenceType.NO_COMM,
+    DependenceType.STENCIL_1D,
+    DependenceType.STENCIL_1D_PERIODIC,
+    DependenceType.DOM,
+    DependenceType.NEAREST,
+}
+
+
+def interior_comm_counts(
+    dependence: DependenceType, radix: int = 3
+) -> tuple[int, int]:
+    """(remote receives, remote sends) of an interior column, one column
+    per core.  Self-column dependencies are local and free."""
+    if dependence in (DependenceType.TRIVIAL,):
+        return (0, 0)
+    if dependence is DependenceType.NO_COMM:
+        return (0, 0)  # the only dependency is the local column
+    if dependence in (DependenceType.STENCIL_1D, DependenceType.STENCIL_1D_PERIODIC):
+        return (2, 2)
+    if dependence is DependenceType.DOM:
+        return (1, 1)
+    if dependence is DependenceType.NEAREST:
+        if radix == 0:
+            return (0, 0)
+        return (radix - 1, radix - 1)  # window includes the local column
+    raise ValueError(
+        f"no closed form for dependence {dependence.value!r}; "
+        f"supported: {sorted(d.value for d in _SUPPORTED)}"
+    )
+
+
+def crosses_nodes(dependence: DependenceType, machine: MachineSpec) -> bool:
+    """Whether the pattern's interior dependencies cross node boundaries
+    somewhere on the machine (one column per core, block mapping)."""
+    if machine.nodes == 1:
+        return False
+    return dependence not in (DependenceType.TRIVIAL, DependenceType.NO_COMM)
+
+
+@dataclass(frozen=True)
+class PhasedPrediction:
+    """Closed-form steady-state prediction for one configuration."""
+
+    overhead_seconds: float  # per-task runtime cost excluding the kernel
+    latency_seconds: float  # effective per-timestep dependence latency
+    controller_floor_seconds: float  # granularity floor from the controller
+
+    def timestep_seconds(self, kernel_seconds: float) -> float:
+        """Steady-state duration of one timestep."""
+        return max(
+            kernel_seconds + self.overhead_seconds + self.latency_seconds,
+            self.controller_floor_seconds,
+        )
+
+    def efficiency(self, kernel_seconds: float) -> float:
+        """Fraction of peak achieved at the given kernel duration."""
+        return kernel_seconds / self.timestep_seconds(kernel_seconds)
+
+    def metg_seconds(self, target: float = 0.5) -> float:
+        """Predicted METG(target) in task-granularity units."""
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        inline = (self.overhead_seconds + self.latency_seconds) / (1.0 - target)
+        return max(inline, self.controller_floor_seconds)
+
+
+def predict(
+    model: RuntimeModel,
+    machine: MachineSpec,
+    network: NetworkModel,
+    *,
+    dependence: DependenceType = DependenceType.STENCIL_1D,
+    radix: int = 3,
+    output_bytes: int = 16,
+) -> PhasedPrediction:
+    """Closed-form prediction for one regular configuration.
+
+    Assumes one column per worker core and no reserved cores (reserved
+    cores shift the peak reference; the phased MPI models the closed form
+    targets reserve none).
+    """
+    if model.runtime_cores_per_node != 0:
+        raise ValueError(
+            "closed form assumes no reserved cores; "
+            f"{model.name} reserves {model.runtime_cores_per_node}"
+        )
+    recvs, sends = interior_comm_counts(dependence, radix)
+    overhead = model.task_runtime_cost_s(recvs, sends, machine.nodes)
+
+    # Symmetric patterns (stencil, nearest) put neighbouring columns in a
+    # mutual-dependence cycle, so cross-core latency bounds the steady
+    # state.  The directed sweep (DOM) has no cycle: its wavefront skews
+    # once and then pipelines at rate T, paying no per-timestep latency.
+    symmetric = dependence not in (DependenceType.DOM,)
+    latency = 0.0
+    if recvs > 0 and symmetric:
+        if crosses_nodes(dependence, machine):
+            latency = network.message_seconds(
+                output_bytes, same_node=False, nodes=machine.nodes
+            )
+        else:
+            latency = network.message_seconds(output_bytes, same_node=True)
+    if model.barrier and machine.nodes > 1:
+        latency += network.latency_seconds(machine.nodes) * max(
+            1.0, math.log2(machine.nodes)
+        )
+
+    floor = 0.0
+    if model.controller_tasks_per_s > 0:
+        floor = machine.total_cores / model.controller_tasks_per_s
+
+    return PhasedPrediction(
+        overhead_seconds=overhead,
+        latency_seconds=latency,
+        controller_floor_seconds=floor,
+    )
+
+
+def predicted_metg_seconds(
+    model: RuntimeModel,
+    machine: MachineSpec,
+    network: NetworkModel,
+    *,
+    dependence: DependenceType = DependenceType.STENCIL_1D,
+    radix: int = 3,
+    output_bytes: int = 16,
+    target: float = 0.5,
+) -> float:
+    """Convenience wrapper: closed-form METG(target)."""
+    return predict(
+        model, machine, network,
+        dependence=dependence, radix=radix, output_bytes=output_bytes,
+    ).metg_seconds(target)

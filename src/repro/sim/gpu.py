@@ -1,0 +1,131 @@
+"""GPU offload model (paper §5.8, Figure 13).
+
+Models the paper's Piz Daint experiment: MPI on the node's CPU cores versus
+MPI+CUDA in an offload style where "data is copied to and from the GPU on
+every timestep".  Two offload configurations:
+
+* ``w1`` — one rank drives the GPU; each timestep pays one H2D copy, one
+  kernel launch, the kernel, and one D2H copy, strictly in sequence.
+* ``w4`` — 4 ranks per GPU push work in parallel streams: copies overlap
+  with compute, buying a higher asymptotic rate ("w4 achieves higher
+  FLOP/s"), but every timestep pays 4x the kernel-launch overhead, so the
+  curve "drops more rapidly at smaller problem sizes" (§5.8).
+
+Copied bytes scale with the problem size (the offloaded working set), so
+w1's serial copies cap its asymptotic rate below the GPU peak while w4
+hides them behind compute; at small sizes the copy volume vanishes and the
+fixed launch overhead dominates, favouring w1.
+
+The x-axis is the *normalized* problem size: the FLOPs per timestep are held
+equal between CPU and GPU configurations, matching the paper's Figure 13
+("the x-axis is normalized to keep FLOPs constant for a given problem
+size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class GPUNodeSpec:
+    """One Piz Daint-like node: a CPU socket plus an offload accelerator."""
+
+    cpu_cores: int = 12
+    cpu_flops: float = 5.726e11  # measured CPU peak (paper §5.8)
+    gpu_flops: float = 4.759e12  # measured P100 peak (paper §5.8)
+    kernel_launch_s: float = 10e-6
+    pcie_bytes_per_s: float = 11e9  # PCIe gen3 x16 effective
+    copy_latency_s: float = 10e-6
+    #: FLOPs of kernel work per byte staged over PCIe each timestep.
+    arithmetic_intensity: float = 5000.0
+    #: Fixed staging volume independent of problem size (halo, headers).
+    base_copy_bytes: float = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        if min(self.cpu_flops, self.gpu_flops, self.pcie_bytes_per_s) <= 0:
+            raise ValueError("rates must be positive")
+        if self.arithmetic_intensity <= 0:
+            raise ValueError("arithmetic_intensity must be positive")
+
+    def copy_bytes(self, flops: float) -> float:
+        """Bytes staged over PCIe for a timestep of ``flops`` work."""
+        return self.base_copy_bytes + flops / self.arithmetic_intensity
+
+
+PIZ_DAINT = GPUNodeSpec()
+
+
+def cpu_time_per_timestep(spec: GPUNodeSpec, flops: float,
+                          mpi_overhead_s: float = 2.3e-6) -> float:
+    """Wall time of one timestep of the stencil on the CPU (MPI, 1 node).
+
+    ``flops`` is the total work of the timestep, spread over the CPU cores;
+    each core also pays the MPI per-task overhead.
+    """
+    return flops / spec.cpu_flops + mpi_overhead_s
+
+
+def gpu_time_per_timestep_w1(spec: GPUNodeSpec, flops: float) -> float:
+    """Wall time of one timestep in the w1 offload configuration: H2D copy,
+    launch, kernel, D2H copy — strictly serial."""
+    copy = 2 * (spec.copy_latency_s + spec.copy_bytes(flops) / spec.pcie_bytes_per_s)
+    return copy + spec.kernel_launch_s + flops / spec.gpu_flops
+
+
+def gpu_time_per_timestep_w4(spec: GPUNodeSpec, flops: float, ranks: int = 4) -> float:
+    """Wall time of one timestep in the w4 overdecomposed configuration.
+
+    Copies overlap with compute across the ``ranks`` streams (PCIe
+    bandwidth is shared, so the total copy time is unchanged — the win is
+    the overlap), plus a launch per rank (launches serialize on the GPU's
+    command queue).
+    """
+    copies = 2 * (
+        spec.copy_latency_s + spec.copy_bytes(flops) / spec.pcie_bytes_per_s
+    )
+    compute = flops / spec.gpu_flops
+    return max(compute, copies) + ranks * spec.kernel_launch_s
+
+
+def figure13_series(
+    spec: GPUNodeSpec = PIZ_DAINT,
+    problem_sizes: List[float] | None = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """FLOP/s vs normalized problem size for MPI, MPI+CUDA w1, MPI+CUDA w4.
+
+    ``problem_sizes`` are FLOPs per timestep; defaults sweep 2^6..2^27
+    scaled so the largest sizes saturate the GPU, matching the dynamic
+    range of Figure 13.
+    """
+    if problem_sizes is None:
+        problem_sizes = [2.0**e for e in range(16, 38)]
+    out: Dict[str, List[Tuple[float, float]]] = {
+        "mpi_cpu": [],
+        "mpi_cuda_w1": [],
+        "mpi_cuda_w4": [],
+    }
+    for flops in problem_sizes:
+        out["mpi_cpu"].append((flops, flops / cpu_time_per_timestep(spec, flops)))
+        out["mpi_cuda_w1"].append(
+            (flops, flops / gpu_time_per_timestep_w1(spec, flops))
+        )
+        out["mpi_cuda_w4"].append(
+            (flops, flops / gpu_time_per_timestep_w4(spec, flops))
+        )
+    return out
+
+
+def crossover_problem_size(spec: GPUNodeSpec = PIZ_DAINT) -> float:
+    """Smallest swept problem size at which the w1 GPU configuration beats
+    the CPU — the §5.8 observation that "the overhead of copying data
+    dominates at small task granularities, where the CPU achieves higher
+    performance"."""
+    for flops, gpu_rate in figure13_series(spec)["mpi_cuda_w1"]:
+        cpu_rate = flops / cpu_time_per_timestep(spec, flops)
+        if gpu_rate > cpu_rate:
+            return flops
+    return float("inf")

@@ -1,0 +1,136 @@
+"""Machine specifications for the simulator substrate.
+
+Stands in for the paper's testbeds: Cori (Cray XC40, 32-core Haswell nodes,
+1.26 TFLOP/s measured per node, Aries interconnect) and Piz Daint (XC50,
+12-core Xeon + P100 per node).  The simulator is calibrated against the
+paper's *measured* peaks, exactly as the paper calibrates efficiency against
+its empirically-determined 1.26 TFLOP/s rather than the official number.
+
+Column-to-core mapping follows the paper's convention: "each column will be
+assigned to execute on a different processor core" — width is normally the
+number of worker cores, and columns are block-distributed so neighbouring
+columns share nodes (which is what makes the stencil pattern cheap and the
+spread pattern expensive at scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.kernels import FLOPS_PER_ITERATION, Kernel, KernelTimeModel
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous cluster of multi-core nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Number of nodes.
+    cores_per_node:
+        Physical cores per node.
+    flops_per_core:
+        Peak FLOP/s of one core for the compute kernel (calibrated).
+    mem_bw_per_node:
+        Peak memory bandwidth per node in B/s (calibrated; the paper
+        measures 79 GB/s per Cori node).
+    mem_bw_saturation_cores:
+        Number of cores needed to saturate memory bandwidth (paper §5.2:
+        "not all cores are required to saturate memory bandwidth").
+    """
+
+    nodes: int = 1
+    cores_per_node: int = 32
+    flops_per_core: float = 39.4e9  # 1.26 TFLOP/s / 32 cores (Cori Haswell)
+    mem_bw_per_node: float = 79e9  # measured STREAM-like peak on Cori
+    mem_bw_saturation_cores: int = 16
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        if self.flops_per_core <= 0 or self.mem_bw_per_node <= 0:
+            raise ValueError("peak rates must be positive")
+        if self.mem_bw_saturation_cores < 1:
+            raise ValueError("mem_bw_saturation_cores must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """All cores in the machine."""
+        return self.nodes * self.cores_per_node
+
+    @property
+    def peak_flops(self) -> float:
+        """Machine-wide peak FLOP/s (the 100 % efficiency reference)."""
+        return self.total_cores * self.flops_per_core
+
+    @property
+    def peak_bytes_per_second(self) -> float:
+        """Machine-wide peak memory bandwidth."""
+        return self.nodes * self.mem_bw_per_node
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """Same node architecture, different node count (scaling studies)."""
+        return replace(self, nodes=nodes)
+
+    # ------------------------------------------------------------------
+    def kernel_time_model(self, worker_cores_per_node: int | None = None) -> KernelTimeModel:
+        """Duration model for kernels running on one core of this machine.
+
+        The memory-bound kernel's per-core rate is ``node_bw / max(workers,
+        saturation)``: with at least ``mem_bw_saturation_cores`` workers the
+        node bandwidth is fully shared (aggregate = node peak — which is why
+        reserving a few cores barely hurts the memory case, paper §5.2);
+        with fewer workers each core is bound by its single-core share and
+        the node cannot be saturated.
+        """
+        cores = worker_cores_per_node or self.cores_per_node
+        saturation = min(self.mem_bw_saturation_cores, self.cores_per_node)
+        sharing = max(1, max(cores, saturation))
+        return KernelTimeModel(
+            seconds_per_iteration=FLOPS_PER_ITERATION / self.flops_per_core,
+            bytes_per_second=self.mem_bw_per_node / sharing,
+        )
+
+    def kernel_seconds(self, kernel: Kernel, t: int = 0, i: int = 0, seed: int = 0) -> float:
+        """Modeled duration of one task's kernel on one core."""
+        return self.kernel_time_model().task_seconds(kernel, t, i, seed)
+
+    # ------------------------------------------------------------------
+    # Column/core topology
+    # ------------------------------------------------------------------
+    def node_of_core(self, core: int) -> int:
+        """Node hosting global core index ``core``."""
+        if not 0 <= core < self.total_cores:
+            raise IndexError(f"core {core} outside [0, {self.total_cores})")
+        return core // self.cores_per_node
+
+
+#: The paper's primary testbed: Cori Haswell partition (§5).
+CORI_HASWELL = MachineSpec()
+
+#: A deliberately small machine for fast simulations and tests: shapes of
+#: the paper's phenomena are preserved while task counts stay tractable for
+#: a pure-Python event loop.
+TINY = MachineSpec(nodes=1, cores_per_node=4)
+
+
+def column_to_core(column: int, width: int, worker_cores: int) -> int:
+    """Block-map ``column`` of a ``width``-wide graph onto a worker core.
+
+    When ``width == worker_cores`` this is the identity (the paper's usual
+    configuration); when width exceeds the cores, contiguous blocks of
+    columns share a core; when cores exceed width, the extra cores idle.
+    """
+    if width < 1 or worker_cores < 1:
+        raise ValueError("width and worker_cores must be >= 1")
+    if not 0 <= column < width:
+        raise IndexError(f"column {column} outside [0, {width})")
+    if width <= worker_cores:
+        return column
+    return min(column * worker_cores // width, worker_cores - 1)

@@ -1,0 +1,97 @@
+"""Network model for the simulator substrate.
+
+A latency/bandwidth (postal) model with a contention term that grows with
+the machine's node count.  The contention term is what reproduces the
+paper's key scalability finding (§5.4): "the systems with the smallest METG
+on one node have roughly an order of magnitude higher METG at 256 nodes —
+increased communication latencies require significantly larger tasks to
+achieve the same level of efficiency".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point message cost model.
+
+    ``message_seconds`` returns the in-flight time of a message; per-message
+    *core* costs (marshalling, matching) belong to the runtime model, not
+    the network.
+
+    Attributes
+    ----------
+    base_latency_s:
+        One-hop wire latency between two nodes at minimal machine size.
+    bandwidth_bytes_per_s:
+        Per-link bandwidth.
+    contention_per_log_node:
+        Effective latency multiplier growth per doubling of node count:
+        the log-linear part of ``latency(n)``.  Models adaptive routing
+        dilution and topology depth.
+    incast_coeff_s, incast_power:
+        Superlinear contention term ``incast_coeff * n**incast_power``
+        added to the effective latency: jitter and link sharing from all
+        ranks communicating each timestep.  Calibrated so MPI's stencil
+        METG follows the paper's measured 4.6 us (1 node) -> ~28 us
+        (128) -> ~61 us (256) hockey stick (§4).
+    intra_node_latency_s:
+        Latency between two cores of the same node (shared memory hand-off).
+    intra_node_bandwidth_bytes_per_s:
+        Bandwidth for same-node transfers.
+    """
+
+    base_latency_s: float = 1.5e-6  # Aries-class MPI half round trip
+    bandwidth_bytes_per_s: float = 8e9
+    contention_per_log_node: float = 0.15
+    incast_coeff_s: float = 0.03e-6
+    incast_power: float = 1.2
+    intra_node_latency_s: float = 0.1e-6
+    intra_node_bandwidth_bytes_per_s: float = 30e9
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0 or self.intra_node_latency_s < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0 or self.intra_node_bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.contention_per_log_node < 0 or self.incast_coeff_s < 0:
+            raise ValueError("contention terms must be >= 0")
+        if self.incast_power < 0:
+            raise ValueError("incast_power must be >= 0")
+
+    def latency_seconds(self, nodes: int) -> float:
+        """Effective internode latency on a machine of ``nodes`` nodes."""
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if nodes == 1:
+            return self.base_latency_s
+        return (
+            self.base_latency_s
+            * (1.0 + self.contention_per_log_node * math.log2(nodes))
+            + self.incast_coeff_s * nodes**self.incast_power
+        )
+
+    def message_seconds(self, nbytes: int, *, same_node: bool, nodes: int = 1) -> float:
+        """In-flight time of an ``nbytes`` message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if same_node:
+            return self.intra_node_latency_s + nbytes / self.intra_node_bandwidth_bytes_per_s
+        return self.latency_seconds(nodes) + nbytes / self.bandwidth_bytes_per_s
+
+
+#: Calibrated to Cori's Aries interconnect scale of behaviour.
+ARIES = NetworkModel()
+
+#: Zero-cost network: isolates pure runtime overhead in tests.
+IDEAL = NetworkModel(
+    base_latency_s=0.0,
+    bandwidth_bytes_per_s=1e30,
+    contention_per_log_node=0.0,
+    incast_coeff_s=0.0,
+    intra_node_latency_s=0.0,
+    intra_node_bandwidth_bytes_per_s=1e30,
+)

@@ -1,0 +1,87 @@
+"""Runtime-system cost models for the simulator substrate.
+
+Each of the paper's 15 systems (plus variants — Table 3 / Figures 6-12) is
+represented by a :class:`RuntimeModel`: the set of mechanisms §5 uses to
+explain every measured curve, reduced to explicit cost knobs.
+
+* ``task_overhead_s`` / ``dep_overhead_s`` / ``send_overhead_s`` — inline
+  per-task and per-dependency core time (§5.3, §5.5: "the number of
+  dependencies per task has a strong influence on overhead").
+* ``runtime_cores_per_node`` — out-of-line overhead: cores reserved for the
+  runtime (§5.1: "some systems reserve a number of cores ... these systems
+  take a minor hit in peak FLOP/s").
+* ``execution = "phased"`` — distinct compute/communication phases per
+  timestep (the MPI shims); ``"async"`` — event-driven execution where any
+  ready task may run, which is what buys communication overlap (§5.6) and
+  imbalance mitigation (§5.7).
+* ``barrier`` — a global barrier each timestep (MPI bulk-sync variant).
+* ``dynamic_check_s_per_node`` — DAG-trimming dynamic checks that scale
+  with node count (§5.4: PaRSEC DTD and StarPU; PTG retains smaller checks;
+  "PaRSEC shard ... completely eliminates these dynamic checks").
+* ``controller_tasks_per_s`` — a centralized controller's dispatch
+  throughput ceiling (§5.4: "Spark uses a centralized controller, which
+  limits throughput").
+* ``work_stealing`` — on-node idle-core stealing (§5.7: Chapel distrib).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+Execution = Literal["phased", "async"]
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Cost structure of one runtime system."""
+
+    name: str
+    execution: Execution = "async"
+    task_overhead_s: float = 1e-6
+    dep_overhead_s: float = 0.5e-6
+    send_overhead_s: float = 0.5e-6
+    runtime_cores_per_node: int = 0
+    barrier: bool = False
+    dynamic_check_s_per_node: float = 0.0
+    controller_tasks_per_s: float = 0.0
+    controller_latency_s: float = 0.0
+    work_stealing: bool = False
+    steal_overhead_s: float = 1e-6
+    distributed: bool = True  # False: single-node systems (OpenMP, OmpSs)
+
+    def __post_init__(self) -> None:
+        if min(self.task_overhead_s, self.dep_overhead_s, self.send_overhead_s,
+               self.dynamic_check_s_per_node, self.controller_latency_s,
+               self.steal_overhead_s) < 0:
+            raise ValueError("overheads must be >= 0")
+        if self.runtime_cores_per_node < 0:
+            raise ValueError("runtime_cores_per_node must be >= 0")
+        if self.controller_tasks_per_s < 0:
+            raise ValueError("controller_tasks_per_s must be >= 0")
+        if self.barrier and self.execution != "phased":
+            raise ValueError("barrier is only meaningful for phased execution")
+
+    # ------------------------------------------------------------------
+    def worker_cores_per_node(self, cores_per_node: int) -> int:
+        """Cores left for application tasks on each node."""
+        workers = cores_per_node - self.runtime_cores_per_node
+        if workers < 1:
+            raise ValueError(
+                f"{self.name}: {self.runtime_cores_per_node} reserved cores "
+                f"leave no workers on a {cores_per_node}-core node"
+            )
+        return workers
+
+    def task_runtime_cost_s(self, ndeps: int, nsends: int, nodes: int) -> float:
+        """Inline core time the runtime adds to one task."""
+        return (
+            self.task_overhead_s
+            + ndeps * self.dep_overhead_s
+            + nsends * self.send_overhead_s
+            + nodes * self.dynamic_check_s_per_node
+        )
+
+    def with_(self, **changes) -> "RuntimeModel":
+        """Copy with fields replaced (ablations)."""
+        return replace(self, **changes)

@@ -1,0 +1,446 @@
+"""Discrete-event simulation of task-graph execution on a modeled machine.
+
+This module is the substitute for the paper's physical testbeds: it executes
+Task Bench task graphs against a :class:`~repro.sim.machine.MachineSpec`,
+:class:`~repro.sim.network.NetworkModel` and
+:class:`~repro.sim.runtime_model.RuntimeModel`, returning the same
+:class:`~repro.core.metrics.RunResult` a real executor returns — so the METG
+machinery is oblivious to whether it measures a real run or a simulated one.
+
+Two engines:
+
+``phased``
+    Timestep-phased execution for the MPI-style models (§3.4): each rank
+    (core) computes all of its timestep's tasks, then communicates.  With
+    ``barrier=True`` a global barrier separates timesteps (the bulk-sync
+    variant).  Costs are accumulated per core per timestep, which keeps the
+    engine nearly allocation-free and fast.
+
+``async``
+    Event-driven greedy list scheduling for asynchronous models: any ready
+    task may run on its core (or any same-node core under work stealing)
+    while other tasks' messages are still in flight.  This is where
+    communication overlap (§5.6) and load-imbalance mitigation (§5.7)
+    emerge — they are not modeled explicitly, they fall out of the engine.
+
+Semantics shared by both engines:
+
+* columns are block-mapped to worker cores (``machine.column_to_core``);
+  each graph is mapped over all worker cores independently, so multiple
+  graphs give each core one column per graph (task parallelism);
+* a dependency between tasks on the same core is free to communicate
+  (phased) or costs only activation bookkeeping (async);
+* per-task runtime cost = ``task_overhead + recv costs + send costs +
+  dynamic checks``, all inline core time;
+* a centralized controller, when configured, serializes task dispatch at
+  ``controller_tasks_per_s``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.metrics import RunResult, summarize_graphs
+from ..core.task_graph import TaskGraph
+from .machine import MachineSpec, column_to_core
+from .network import NetworkModel
+from .runtime_model import RuntimeModel
+
+TaskRef = Tuple[int, int, int]  # (graph position, timestep, column)
+
+#: One executed task in a trace: (graph_index, timestep, column, core,
+#: start_seconds, end_seconds).
+TraceEvent = Tuple[int, int, int, int, float, float]
+
+
+class SimStats:
+    """Execution statistics collected during a simulation.
+
+    Attributes
+    ----------
+    core_busy_seconds:
+        Core time spent executing tasks + runtime overhead, per worker core.
+    tasks_per_core:
+        Tasks executed per worker core.
+    messages_intra_node / messages_cross_node:
+        Point-to-point messages by locality (same-core hand-offs are free
+        and not counted).
+    bytes_cross_node:
+        Payload bytes that crossed the network.
+    steals:
+        Tasks executed away from their home core (work stealing only).
+    elapsed_seconds:
+        Simulated wall time (filled in at the end of the run).
+    trace:
+        When constructed with ``collect_trace=True``: every executed task
+        as a :data:`TraceEvent`, in completion order — the input of
+        :func:`repro.analysis.timeline.render_gantt`.
+    """
+
+    def __init__(self, num_workers: int, *, collect_trace: bool = False) -> None:
+        self.core_busy_seconds = [0.0] * num_workers
+        self.tasks_per_core = [0] * num_workers
+        self.messages_intra_node = 0
+        self.messages_cross_node = 0
+        self.bytes_cross_node = 0
+        self.steals = 0
+        self.elapsed_seconds = 0.0
+        self.trace: List[TraceEvent] | None = [] if collect_trace else None
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across worker cores."""
+        if self.elapsed_seconds == 0:
+            return 0.0
+        busy = sum(self.core_busy_seconds) / len(self.core_busy_seconds)
+        return busy / self.elapsed_seconds
+
+    @property
+    def imbalance_factor(self) -> float:
+        """Max over mean per-core busy time (1.0 = perfectly balanced)."""
+        mean = sum(self.core_busy_seconds) / len(self.core_busy_seconds)
+        if mean == 0:
+            return 1.0
+        return max(self.core_busy_seconds) / mean
+
+    def record_message(self, nbytes: int, same_node: bool) -> None:
+        if same_node:
+            self.messages_intra_node += 1
+        else:
+            self.messages_cross_node += 1
+            self.bytes_cross_node += nbytes
+
+
+def simulate(
+    graphs: Sequence[TaskGraph],
+    machine: MachineSpec,
+    model: RuntimeModel,
+    network: NetworkModel,
+    *,
+    stats: SimStats | None = None,
+) -> RunResult:
+    """Simulate executing ``graphs`` and return a timed result.
+
+    The returned ``RunResult.cores`` is the machine's total core count
+    (workers plus reserved runtime cores), matching the paper's task
+    granularity formula which charges all allocated cores.  Pass a
+    :class:`SimStats` to collect per-core utilization and message counts.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("at least one task graph is required")
+    if len({g.graph_index for g in graphs}) != len(graphs):
+        raise ValueError("graphs must have distinct graph_index values")
+    if not model.distributed and machine.nodes > 1:
+        raise ValueError(
+            f"{model.name} is a single-node system (cannot run on "
+            f"{machine.nodes} nodes)"
+        )
+    sim = _Simulation(graphs, machine, model, network, stats)
+    if model.execution == "phased":
+        elapsed = sim.run_phased()
+    else:
+        elapsed = sim.run_async()
+    if stats is not None:
+        stats.elapsed_seconds = elapsed
+    return summarize_graphs(
+        model.name, graphs, elapsed, machine.total_cores, validated=False
+    )
+
+
+def simulate_with_stats(
+    graphs: Sequence[TaskGraph],
+    machine: MachineSpec,
+    model: RuntimeModel,
+    network: NetworkModel,
+    *,
+    collect_trace: bool = False,
+) -> Tuple[RunResult, SimStats]:
+    """Convenience wrapper returning the result and its statistics."""
+    sim = _Simulation(list(graphs), machine, model, network, None)
+    stats = SimStats(sim.num_workers, collect_trace=collect_trace)
+    result = simulate(graphs, machine, model, network, stats=stats)
+    return result, stats
+
+
+class _Simulation:
+    """Shared state and helpers for both engines."""
+
+    def __init__(
+        self,
+        graphs: Sequence[TaskGraph],
+        machine: MachineSpec,
+        model: RuntimeModel,
+        network: NetworkModel,
+        stats: SimStats | None = None,
+    ) -> None:
+        self.graphs = list(graphs)
+        self.machine = machine
+        self.model = model
+        self.network = network
+        self.stats = stats
+        self.workers_per_node = model.worker_cores_per_node(machine.cores_per_node)
+        self.num_workers = machine.nodes * self.workers_per_node
+        self.ktime = machine.kernel_time_model(self.workers_per_node)
+        self.max_t = max(g.timesteps for g in graphs)
+        self._partner_cache: Dict[Tuple[int, int, int, int], Tuple[int, List[int]]] = {}
+
+    # -- topology helpers ------------------------------------------------
+    def core_of(self, g: TaskGraph, column: int) -> int:
+        return column_to_core(column, g.max_width, self.num_workers)
+
+    def node_of(self, core: int) -> int:
+        return core // self.workers_per_node
+
+    def kernel_seconds(self, g: TaskGraph, t: int, i: int) -> float:
+        return self.ktime.task_seconds(g.kernel, t, i, g.seed)
+
+    def message_seconds(self, g: TaskGraph, src_core: int, dst_core: int) -> float:
+        if src_core == dst_core:
+            return 0.0
+        same_node = self.node_of(src_core) == self.node_of(dst_core)
+        return self.network.message_seconds(
+            g.output_bytes_per_task, same_node=same_node, nodes=self.machine.nodes
+        )
+
+    def comm_partners(
+        self, g: TaskGraph, t: int, i: int
+    ) -> Tuple[int, List[int]]:
+        """Cross-core communication of task ``(t, i)``: number of inputs
+        received from other cores, and the distinct remote cores its output
+        is sent to.
+
+        Cached per dependence set (the official core's timestep
+        equivalence classes): tall graphs with repeating structure —
+        every figure's METG sweeps — query each structure once.
+        """
+        spec = g.spec
+        set_in = spec.dependence_set_at_timestep(t) if t > 0 else -1
+        set_out = (
+            spec.dependence_set_at_timestep(t + 1) if t < g.timesteps - 1 else -1
+        )
+        key = (g.graph_index, set_in, set_out, i)
+        cached = self._partner_cache.get(key)
+        if cached is not None:
+            return cached
+        core = self.core_of(g, i)
+        remote_recvs = 0
+        if set_in >= 0:
+            remote_recvs = sum(
+                1 for j in g.dependency_points(t, i) if self.core_of(g, j) != core
+            )
+        send_cores: List[int] = []
+        if set_out >= 0:
+            send_cores = sorted(
+                {
+                    self.core_of(g, j)
+                    for j in g.reverse_dependency_points(t, i)
+                    if self.core_of(g, j) != core
+                }
+            )
+        result = (remote_recvs, send_cores)
+        self._partner_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Phased engine (MPI-style)
+    # ------------------------------------------------------------------
+    def run_phased(self) -> float:
+        m = self.model
+        nodes = self.machine.nodes
+        start = [0.0] * self.num_workers  # phase start per core
+        barrier_cost = (
+            self.network.latency_seconds(nodes) * max(1.0, math.log2(max(2, nodes)))
+            if m.barrier and nodes > 1
+            else 0.0
+        )
+        for t in range(self.max_t):
+            finish = list(start)
+            # Compute phase: every core runs its tasks back to back;
+            # send costs are charged here too (the communication phase of
+            # the owning rank).
+            arrivals: Dict[int, float] = {}
+            sends: List[Tuple[int, int, TaskGraph]] = []  # (src, dst, graph)
+            for g in self.graphs:
+                if t >= g.timesteps:
+                    continue
+                off = g.offset_at_timestep(t)
+                for i in range(off, off + g.width_at_timestep(t)):
+                    core = self.core_of(g, i)
+                    recvs, send_cores = self.comm_partners(g, t, i)
+                    cost = (
+                        self.kernel_seconds(g, t, i)
+                        + m.task_overhead_s
+                        + recvs * m.dep_overhead_s
+                        + len(send_cores) * m.send_overhead_s
+                        + nodes * m.dynamic_check_s_per_node
+                    )
+                    task_start = finish[core]
+                    finish[core] += cost
+                    if self.stats is not None:
+                        self.stats.core_busy_seconds[core] += cost
+                        self.stats.tasks_per_core[core] += 1
+                        if self.stats.trace is not None:
+                            self.stats.trace.append(
+                                (g.graph_index, t, i, core, task_start,
+                                 finish[core])
+                            )
+                        for dst in send_cores:
+                            self.stats.record_message(
+                                g.output_bytes_per_task,
+                                self.node_of(core) == self.node_of(dst),
+                            )
+                    for dst in send_cores:
+                        sends.append((core, dst, g))
+            # Communication phase: messages leave when their rank finishes
+            # its compute phase and land after the wire time.
+            for src, dst, g in sends:
+                arrival = finish[src] + self.message_seconds(g, src, dst)
+                if arrival > arrivals.get(dst, 0.0):
+                    arrivals[dst] = arrival
+            if m.barrier:
+                phase_end = max(finish) + barrier_cost
+                start = [max(phase_end, arrivals.get(c, 0.0)) for c in range(self.num_workers)]
+            else:
+                start = [
+                    max(finish[c], arrivals.get(c, 0.0))
+                    for c in range(self.num_workers)
+                ]
+        return max(start)
+
+    # ------------------------------------------------------------------
+    # Async engine (event-driven greedy list scheduling)
+    # ------------------------------------------------------------------
+    def run_async(self) -> float:
+        m = self.model
+        nodes = self.machine.nodes
+        graphs = self.graphs
+
+        # Per-task pending-input counters and accumulated ready times.
+        pending: Dict[TaskRef, int] = {}
+        ready_at: Dict[TaskRef, float] = {}
+        queues: List[List[Tuple[float, int, TaskRef]]] = [
+            [] for _ in range(self._num_queues())
+        ]
+        core_free = [0.0] * self.num_workers
+        controller_free = 0.0
+        seq = itertools.count()
+
+        events: List[Tuple[float, int, int]] = []  # (time, seq, core hint)
+
+        def queue_index(core: int) -> int:
+            return self.node_of(core) if m.work_stealing else core
+
+        def enqueue(ref: TaskRef, when: float) -> None:
+            gpos, t, i = ref
+            core = self.core_of(graphs[gpos], i)
+            heapq.heappush(queues[queue_index(core)], (when, next(seq), ref))
+            heapq.heappush(events, (when, next(seq), core))
+
+        # Seed all zero-dependency tasks.
+        total = 0
+        for gpos, g in enumerate(graphs):
+            for t, i in g.points():
+                total += 1
+                nd = g.num_dependencies(t, i)
+                ref = (gpos, t, i)
+                if nd == 0:
+                    enqueue(ref, 0.0)
+                else:
+                    pending[ref] = nd
+                    ready_at[ref] = 0.0
+
+        executed = 0
+        now = 0.0
+        while executed < total:
+            if not events:
+                raise RuntimeError(
+                    f"simulation stalled with {total - executed} tasks left "
+                    "(dependence routing bug)"
+                )
+            now, _, core = heapq.heappop(events)
+            qi = queue_index(core)
+            # Run as many queued tasks as this wake-up allows.  Under work
+            # stealing, any core of the node may pick the task up.
+            run_core = self._pick_core(core, core_free) if m.work_stealing else core
+            q = queues[qi]
+            if not q or q[0][0] > now:
+                continue
+            if core_free[run_core] > now:
+                # Core busy: it will re-check when it frees up.
+                heapq.heappush(events, (core_free[run_core], next(seq), core))
+                continue
+            when, _, ref = heapq.heappop(q)
+            gpos, t, i = ref
+            g = graphs[gpos]
+            home_core = self.core_of(g, i)
+
+            start = max(now, when)
+            if m.controller_tasks_per_s > 0:
+                dispatch = max(start, controller_free)
+                controller_free = dispatch + 1.0 / m.controller_tasks_per_s
+                start = dispatch + m.controller_latency_s
+            start = max(start, core_free[run_core])
+
+            recvs, send_cores = self.comm_partners(g, t, i)
+            cost = (
+                self.kernel_seconds(g, t, i)
+                + m.task_overhead_s
+                + recvs * m.dep_overhead_s
+                + len(send_cores) * m.send_overhead_s
+                + nodes * m.dynamic_check_s_per_node
+            )
+            if m.work_stealing:
+                # Shared-queue contention on every dequeue, plus the full
+                # steal cost when the task runs away from its home core.
+                # This is what makes the default scheduler beat the
+                # stealing one at very small granularities (paper §5.7).
+                cost += 0.25 * m.steal_overhead_s
+                if run_core != home_core:
+                    cost += m.steal_overhead_s
+            end = start + cost
+            core_free[run_core] = end
+            executed += 1
+            if self.stats is not None:
+                self.stats.core_busy_seconds[run_core] += cost
+                self.stats.tasks_per_core[run_core] += 1
+                if self.stats.trace is not None:
+                    self.stats.trace.append(
+                        (g.graph_index, t, i, run_core, start, end)
+                    )
+                if run_core != home_core:
+                    self.stats.steals += 1
+                for dst in send_cores:
+                    self.stats.record_message(
+                        g.output_bytes_per_task,
+                        self.node_of(home_core) == self.node_of(dst),
+                    )
+
+            # Deliver to consumers.
+            for j in g.reverse_dependency_points(t, i):
+                cref = (gpos, t + 1, j)
+                arrival = end + self.message_seconds(g, home_core, self.core_of(g, j))
+                if arrival > ready_at[cref]:
+                    ready_at[cref] = arrival
+                pending[cref] -= 1
+                if pending[cref] == 0:
+                    del pending[cref]
+                    enqueue(cref, ready_at.pop(cref))
+            # Let this core look for more work.
+            if q:
+                heapq.heappush(events, (max(end, q[0][0]), next(seq), core))
+        return max(core_free)
+
+    def _num_queues(self) -> int:
+        return self.machine.nodes if self.model.work_stealing else self.num_workers
+
+    def _pick_core(self, hint_core: int, core_free: List[float]) -> int:
+        """Under work stealing, the earliest-free core of the hint's node."""
+        node = self.node_of(hint_core)
+        lo = node * self.workers_per_node
+        hi = lo + self.workers_per_node
+        best = min(range(lo, hi), key=lambda c: core_free[c])
+        return best

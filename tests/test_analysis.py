@@ -1,0 +1,231 @@
+"""Tests for figure regeneration and reporting.
+
+Each figure test checks the *qualitative* claims of the corresponding paper
+figure at a reduced scale — the pass criterion of the reproduction.
+"""
+
+import pytest
+
+from repro.analysis import (
+    FigureConfig,
+    FigureData,
+    Series,
+    figure2_3,
+    figure4,
+    figure5,
+    figure6_7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    format_quantity,
+    render_markdown_table,
+    render_series_table,
+    summarize_extremes,
+)
+
+# Small, fast configuration shared by the figure tests.
+FAST = FigureConfig(
+    cores_per_node=4,
+    steps=12,
+    node_counts=(1, 4, 16),
+    problem_sizes=tuple(8**e for e in range(7)),
+)
+
+
+class TestFigureDataStructures:
+    def test_series_length_check(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [1])
+
+    def test_figure_get(self):
+        f = FigureData("f", "t", "x", "y", [Series("a", [1], [2])])
+        assert f.get("a").y == [2]
+        with pytest.raises(KeyError):
+            f.get("b")
+
+    def test_config_paper_scale(self):
+        cfg = FigureConfig.paper()
+        assert cfg.cores_per_node == 32
+        assert 256 in cfg.node_counts
+
+    def test_config_machine(self):
+        m = FAST.machine(4)
+        assert m.nodes == 4 and m.cores_per_node == 4
+
+
+class TestFigures2and3:
+    def test_shapes(self):
+        figs = figure2_3(FAST)
+        flops, eff = figs["flops"], figs["efficiency"]
+        s = flops.get("mpi_p2p")
+        # FLOP/s grows monotonically with problem size (Figure 2)
+        assert s.y == sorted(s.y)
+        e = eff.get("mpi_p2p")
+        # efficiency approaches 1 at large granularity, ~0 at small
+        assert max(e.y) > 0.9 and min(e.y) < 0.1
+
+
+class TestFigures4and5:
+    def test_weak_scaling_flat_at_top_rising_at_bottom(self):
+        fig = figure4(FAST, sizes=(8, 32768))
+        small, large = fig.get("iters=8"), fig.get("iters=32768")
+        assert max(large.y) / min(large.y) < 1.3  # flat
+        assert small.y[-1] / small.y[0] > 1.5  # compressed/rising
+
+    def test_strong_scaling_large_problem_scales_down(self):
+        fig = figure5(FAST)
+        big = fig.series[-1]
+        assert big.y[-1] < big.y[0] / 2
+
+
+class TestFigures6and7:
+    def test_subset_of_systems(self):
+        cfg = FAST.with_(systems=("mpi_p2p", "charmpp", "spark"))
+        figs = figure6_7(cfg)
+        assert set(figs["flops"].labels) == {"mpi_p2p", "charmpp", "spark"}
+
+    def test_spark_needs_much_larger_tasks(self):
+        """Figure 7: data-analytics systems reach 50% only at far larger
+        granularity."""
+        cfg = FAST.with_(
+            systems=("mpi_p2p", "spark"),
+            problem_sizes=tuple(8**e for e in range(10)),
+        )
+        eff = figure6_7(cfg)["efficiency"]
+
+        def gran_at_50(label):
+            s = eff.get(label)
+            return min(
+                (x for x, y in zip(s.x, s.y) if y >= 0.5), default=float("inf")
+            )
+
+        assert gran_at_50("spark") > 100 * gran_at_50("mpi_p2p")
+
+
+class TestFigure8:
+    def test_memory_throughput_saturates(self):
+        fig = figure8(FAST, systems=("mpi_p2p",))
+        s = fig.get("mpi_p2p")
+        assert s.y == sorted(s.y)
+        machine = FAST.machine(1)
+        assert max(s.y) > 0.8 * machine.peak_bytes_per_second
+
+
+class TestFigure9:
+    def test_metg_rises_with_nodes(self):
+        cfg = FAST.with_(systems=("mpi_p2p", "charmpp"))
+        fig = figure9("a", cfg)
+        for s in fig.series:
+            assert s.y[-1] > s.y[0]
+
+    def test_unknown_subfigure(self):
+        with pytest.raises(ValueError, match="subfigure"):
+            figure9("z", FAST)
+
+    def test_spark_rises_immediately(self):
+        """§5.4: the centralized controller makes Spark's METG grow with
+        node count from the start."""
+        cfg = FAST.with_(systems=("spark",), steps=8)
+        fig = figure9("a", cfg)
+        s = fig.get("spark")
+        assert s.y[1] > 2 * s.y[0]
+
+    def test_task_parallel_variant_runs(self):
+        cfg = FAST.with_(systems=("mpi_p2p",), node_counts=(1, 4))
+        fig = figure9("d", cfg)
+        assert fig.get("mpi_p2p").y
+
+
+class TestFigure10:
+    def test_metg_grows_with_dependencies(self):
+        cfg = FAST.with_(systems=("mpi_p2p",))
+        fig = figure10(cfg, radices=(0, 3, 9))
+        s = fig.get("mpi_p2p")
+        assert s.y[0] < s.y[1] < s.y[2]
+
+    def test_zero_vs_three_deps_ratio(self):
+        """§5.5: MPI's 0->3 dependency METG ratio is large (12x measured)."""
+        cfg = FAST.with_(systems=("mpi_p2p",))
+        fig = figure10(cfg, radices=(0, 3))
+        s = fig.get("mpi_p2p")
+        assert s.y[1] / s.y[0] > 4
+
+
+class TestFigure11:
+    def test_async_beats_phased_at_small_granularity(self):
+        """§5.6: asynchronous systems execute smaller granularities at
+        higher efficiency when communication must be hidden."""
+        cfg = FAST.with_(systems=("mpi_bulk_sync", "realm"))
+        fig = figure11(output_bytes=4096, cfg=cfg, nodes=4)
+
+        def gran_at_50(label):
+            s = fig.get(label)
+            return min(
+                (x for x, y in zip(s.x, s.y) if y >= 0.5), default=float("inf")
+            )
+
+        assert gran_at_50("realm") < gran_at_50("mpi_bulk_sync")
+
+
+class TestFigure12:
+    def test_bulk_sync_capped_async_higher(self):
+        """§5.7: imbalance bounds bulk-sync efficiency; async and stealing
+        recover it."""
+        cfg = FAST.with_(
+            systems=("mpi_bulk_sync", "charmpp", "chapel_distrib"),
+            problem_sizes=tuple(8**e for e in range(8)),
+        )
+        fig = figure12(cfg)
+        caps = {s.label: max(s.y) for s in fig.series}
+        assert caps["mpi_bulk_sync"] < 0.75
+        assert caps["charmpp"] > caps["mpi_bulk_sync"]
+        assert caps["chapel_distrib"] > caps["mpi_bulk_sync"]
+
+
+class TestFigure13:
+    def test_series(self):
+        fig = figure13()
+        assert set(fig.labels) == {"mpi_cpu", "mpi_cuda_w1", "mpi_cuda_w4"}
+
+
+class TestReport:
+    def fig(self):
+        return FigureData(
+            "figX", "demo", "x", "y",
+            [Series("a", [1.0, 2.0], [1e9, 2e9]), Series("b", [1.0], [5e-6])],
+        )
+
+    def test_format_quantity(self):
+        assert format_quantity(1.26e12) == "1.26T"
+        assert format_quantity(4.6e-6, "s") == "4.6us"
+        assert format_quantity(0) == "0"
+        assert format_quantity(250) == "250"
+
+    def test_table_contains_all_series(self):
+        text = render_series_table(self.fig())
+        assert "a" in text and "b" in text and "figX" in text
+        assert "1G" in text
+
+    def test_missing_points_dashed(self):
+        text = render_series_table(self.fig())
+        assert "-" in text
+
+    def test_markdown_table(self):
+        md = render_markdown_table(self.fig())
+        assert md.startswith("**figX")
+        assert "| a |" in md
+
+    def test_summarize_extremes(self):
+        text = summarize_extremes(self.fig())
+        assert "figX a" in text and "[" in text
+
+    def test_max_points_subsamples(self):
+        big = FigureData(
+            "f", "t", "x", "y",
+            [Series("s", list(map(float, range(100))), [1.0] * 100)],
+        )
+        text = render_series_table(big, max_points=5)
+        assert len(text.splitlines()[2].split()) <= 8

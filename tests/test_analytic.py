@@ -1,0 +1,189 @@
+"""Tests for the closed-form phased model, cross-validated against the
+discrete-event simulator (the source of truth)."""
+
+import pytest
+
+from repro.core import DependenceType
+from repro.metg import SimRunner, compute_workload, metg
+from repro.sim import ARIES, IDEAL, MachineSpec, get_system
+from repro.sim.analytic import (
+    PhasedPrediction,
+    crosses_nodes,
+    interior_comm_counts,
+    predict,
+    predicted_metg_seconds,
+)
+
+
+class TestInteriorCommCounts:
+    def test_trivial_and_no_comm_free(self):
+        assert interior_comm_counts(DependenceType.TRIVIAL) == (0, 0)
+        assert interior_comm_counts(DependenceType.NO_COMM) == (0, 0)
+
+    def test_stencil(self):
+        assert interior_comm_counts(DependenceType.STENCIL_1D) == (2, 2)
+        assert interior_comm_counts(DependenceType.STENCIL_1D_PERIODIC) == (2, 2)
+
+    def test_dom(self):
+        assert interior_comm_counts(DependenceType.DOM) == (1, 1)
+
+    def test_nearest_excludes_self(self):
+        assert interior_comm_counts(DependenceType.NEAREST, radix=5) == (4, 4)
+        assert interior_comm_counts(DependenceType.NEAREST, radix=0) == (0, 0)
+
+    def test_unsupported_pattern(self):
+        with pytest.raises(ValueError, match="no closed form"):
+            interior_comm_counts(DependenceType.FFT)
+
+
+class TestCrossesNodes:
+    def test_single_node_never(self):
+        m = MachineSpec(nodes=1, cores_per_node=8)
+        assert not crosses_nodes(DependenceType.STENCIL_1D, m)
+
+    def test_multi_node_stencil(self):
+        m = MachineSpec(nodes=4, cores_per_node=8)
+        assert crosses_nodes(DependenceType.STENCIL_1D, m)
+
+    def test_no_comm_never(self):
+        m = MachineSpec(nodes=4, cores_per_node=8)
+        assert not crosses_nodes(DependenceType.NO_COMM, m)
+
+
+class TestPrediction:
+    def test_metg_formula(self):
+        p = PhasedPrediction(
+            overhead_seconds=2e-6, latency_seconds=1e-6,
+            controller_floor_seconds=0.0,
+        )
+        assert p.metg_seconds(0.5) == pytest.approx(6e-6)
+        assert p.metg_seconds(0.9) == pytest.approx(30e-6)
+
+    def test_controller_floor_dominates(self):
+        p = PhasedPrediction(1e-6, 0.0, controller_floor_seconds=1e-3)
+        assert p.metg_seconds(0.5) == pytest.approx(1e-3)
+
+    def test_efficiency_monotone(self):
+        p = PhasedPrediction(2e-6, 1e-6, 0.0)
+        assert p.efficiency(1e-6) < p.efficiency(1e-5) < p.efficiency(1e-3)
+        assert p.efficiency(1.0) > 0.999
+
+    def test_invalid_target(self):
+        p = PhasedPrediction(1e-6, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            p.metg_seconds(1.0)
+
+    def test_reserved_cores_rejected(self):
+        m = MachineSpec(nodes=1, cores_per_node=8)
+        with pytest.raises(ValueError, match="reserved"):
+            predict(get_system("realm"), m, ARIES)
+
+    def test_matches_paper_headline_numbers(self):
+        """Closed form lands on the paper's MPI anchors: 4.6 us stencil,
+        390 ns trivial."""
+        from repro.sim import CORI_HASWELL
+
+        mpi = get_system("mpi_p2p")
+        stencil = predicted_metg_seconds(mpi, CORI_HASWELL, ARIES)
+        assert 4e-6 < stencil < 6e-6
+        trivial = predicted_metg_seconds(
+            mpi, CORI_HASWELL, ARIES, dependence=DependenceType.TRIVIAL
+        )
+        assert 0.3e-6 < trivial < 0.5e-6
+
+    def test_ideal_network_removes_latency(self):
+        m = MachineSpec(nodes=16, cores_per_node=4)
+        mpi = get_system("mpi_p2p")
+        with_net = predict(mpi, m, ARIES)
+        without = predict(mpi, m, IDEAL)
+        assert without.latency_seconds < 1e-20
+        assert with_net.latency_seconds > 0.0
+
+
+class TestCrossValidation:
+    """The DESIGN.md promise: analytic and DES agree on phased regular
+    patterns."""
+
+    @pytest.mark.parametrize("nodes,cpn", [(1, 8), (4, 4), (16, 4)])
+    @pytest.mark.parametrize(
+        "dependence,radix",
+        [
+            (DependenceType.STENCIL_1D, 3),
+            (DependenceType.NEAREST, 5),
+            (DependenceType.TRIVIAL, 0),
+        ],
+    )
+    def test_p2p_within_10_percent(self, nodes, cpn, dependence, radix):
+        machine = MachineSpec(nodes=nodes, cores_per_node=cpn)
+        model = get_system("mpi_p2p")
+        runner = SimRunner(model, machine)
+        wl = compute_workload(
+            runner.worker_width, steps=25, dependence=dependence, radix=radix
+        )
+        sim = metg(runner, wl).metg_seconds
+        ana = predicted_metg_seconds(
+            model, machine, ARIES, dependence=dependence, radix=radix
+        )
+        assert sim == pytest.approx(ana, rel=0.10)
+
+    def test_dom_converges_to_pipelined_rate(self):
+        """The sweep's wavefront pays latency only during pipeline fill, so
+        the finite-height simulation converges to the latency-free closed
+        form from above as the graph gets taller."""
+        machine = MachineSpec(nodes=4, cores_per_node=4)
+        model = get_system("mpi_p2p")
+        ana = predicted_metg_seconds(
+            model, machine, ARIES, dependence=DependenceType.DOM, radix=2
+        )
+        sims = []
+        for steps in (25, 400):
+            runner = SimRunner(model, machine)
+            wl = compute_workload(
+                runner.worker_width, steps=steps,
+                dependence=DependenceType.DOM, radix=2,
+            )
+            sims.append(metg(runner, wl).metg_seconds)
+        assert sims[0] > sims[1] >= ana * 0.99
+        assert sims[1] == pytest.approx(ana, rel=0.10)
+
+    def test_bulk_sync_within_25_percent(self):
+        """The barrier overlaps message arrivals in the DES, so the
+        closed form (which adds them) is a slight overestimate."""
+        machine = MachineSpec(nodes=16, cores_per_node=4)
+        model = get_system("mpi_bulk_sync")
+        runner = SimRunner(model, machine)
+        wl = compute_workload(runner.worker_width, steps=25)
+        sim = metg(runner, wl).metg_seconds
+        ana = predicted_metg_seconds(model, machine, ARIES)
+        assert sim <= ana  # analytic upper-bounds the barrier model
+        assert sim == pytest.approx(ana, rel=0.25)
+
+    def test_controller_floor_matches_spark(self):
+        """Spark's simulated METG equals the controller floor within the
+        transition regime."""
+        from repro.sim import CORI_HASWELL
+
+        spark = get_system("spark")
+        runner = SimRunner(spark, CORI_HASWELL)
+        wl = compute_workload(runner.worker_width, steps=10)
+        sim = metg(runner, wl).metg_seconds
+        floor = CORI_HASWELL.total_cores / spark.controller_tasks_per_s
+        assert sim == pytest.approx(floor, rel=0.3)
+
+    def test_efficiency_curve_matches_simulator(self):
+        """Pointwise check, not just the 50% crossing."""
+        from repro.metg import measure
+
+        machine = MachineSpec(nodes=4, cores_per_node=4)
+        model = get_system("mpi_p2p")
+        runner = SimRunner(model, machine)
+        wl = compute_workload(runner.worker_width, steps=25)
+        pred = predict(model, machine, ARIES)
+        ktime = machine.kernel_time_model()
+        from repro.core import Kernel, KernelType
+
+        for iters in (100, 1000, 10000, 100000):
+            sim_eff = measure(runner, wl, iters).efficiency
+            k = Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=iters)
+            ana_eff = pred.efficiency(ktime.task_seconds(k))
+            assert sim_eff == pytest.approx(ana_eff, rel=0.15), iters

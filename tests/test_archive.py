@@ -1,0 +1,113 @@
+"""Tests for figure JSON archiving."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    compare_figures,
+    figure_from_dict,
+    figure_to_dict,
+    load_figure_json,
+    save_figure_json,
+)
+from repro.analysis.figures import FigureData, Series
+
+
+def fig(**kw):
+    base = dict(
+        figure_id="figA",
+        title="a figure",
+        xlabel="x",
+        ylabel="y",
+        series=[
+            Series("s1", [1.0, 2.0], [10.0, 20.0]),
+            Series("s2", [1.0, 3.0], [5.0, 7.0]),
+        ],
+        notes="note",
+    )
+    base.update(kw)
+    return FigureData(**base)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        f = fig()
+        f2 = figure_from_dict(figure_to_dict(f))
+        assert f2 == f
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_json(fig(), path)
+        assert load_figure_json(path) == fig()
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_json(fig(), path)
+        data = json.loads(path.read_text())
+        assert data["figure_id"] == "figA"
+        assert data["series"][0]["label"] == "s1"
+        assert data["schema_version"] == 1
+
+    def test_real_figure_round_trips(self):
+        from repro.analysis import figure13
+
+        f = figure13()
+        assert figure_from_dict(figure_to_dict(f)) == f
+
+    def test_empty_notes_default(self):
+        d = figure_to_dict(fig(notes=""))
+        del d["notes"]
+        assert figure_from_dict(d).notes == ""
+
+
+class TestValidation:
+    def test_wrong_schema_version(self):
+        d = figure_to_dict(fig())
+        d["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            figure_from_dict(d)
+
+    def test_missing_fields(self):
+        d = figure_to_dict(fig())
+        del d["series"]
+        with pytest.raises(ValueError, match="missing fields"):
+            figure_from_dict(d)
+
+
+class TestCompare:
+    def test_identical_figures_no_diffs(self):
+        assert compare_figures(fig(), fig()) == []
+
+    def test_different_ids(self):
+        diffs = compare_figures(fig(), fig(figure_id="figB"))
+        assert any("figure_id" in d for d in diffs)
+
+    def test_missing_series_reported(self):
+        b = fig(series=[Series("s1", [1.0], [10.0])])
+        diffs = compare_figures(fig(), b)
+        assert any("'s2' only in first" in d for d in diffs)
+
+    def test_value_difference_reported(self):
+        b = fig(series=[
+            Series("s1", [1.0, 2.0], [10.0, 25.0]),
+            Series("s2", [1.0, 3.0], [5.0, 7.0]),
+        ])
+        diffs = compare_figures(fig(), b)
+        assert any("s1 @ x=2" in d for d in diffs)
+
+    def test_tolerance_suppresses_small_diffs(self):
+        b = fig(series=[
+            Series("s1", [1.0, 2.0], [10.0, 20.4]),
+            Series("s2", [1.0, 3.0], [5.0, 7.0]),
+        ])
+        assert compare_figures(fig(), b, rel=0.05) == []
+        assert compare_figures(fig(), b, rel=0.001) != []
+
+    def test_disjoint_x_positions_ignored(self):
+        b = fig(series=[
+            Series("s1", [9.0], [99.0]),
+            Series("s2", [1.0, 3.0], [5.0, 7.0]),
+        ])
+        diffs = compare_figures(fig(), b)
+        assert not any("@ x=9" in d for d in diffs)

@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, run_config
+from repro.core import parse_args
+
+
+class TestMain:
+    def test_real_runtime_run(self, capsys):
+        rc = main(["-steps", "5", "-width", "3", "-type", "stencil_1d",
+                   "-kernel", "compute_bound", "-iter", "4",
+                   "-runtime", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Total Tasks 15" in out
+        assert "FLOP/s" in out
+
+    def test_simulated_runtime_run(self, capsys):
+        rc = main(["-steps", "10", "-width", "64", "-type", "stencil_1d",
+                   "-kernel", "compute_bound", "-iter", "100",
+                   "-runtime", "sim:mpi_p2p", "-nodes", "2", "-cores", "32"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Executor: mpi_p2p" in out
+        assert "Total Tasks 640" in out
+
+    def test_multiple_graphs(self, capsys):
+        rc = main(["-steps", "4", "-width", "2", "-and", "-type", "fft",
+                   "-runtime", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Total Tasks 16" in out
+
+    def test_verbose_prints_graphs(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-verbose",
+                   "-runtime", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "graph 0" in out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "-runtime" in out and "sim:" in out
+
+    def test_unknown_flag_is_error(self, capsys):
+        assert main(["-frobnicate"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_runtime_is_error(self, capsys):
+        assert main(["-runtime", "gravity"]) == 2
+        assert "unknown runtime" in capsys.readouterr().err
+
+    def test_unknown_sim_system_is_error(self, capsys):
+        assert main(["-runtime", "sim:hadoop"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_bad_graph_parameters_are_errors(self, capsys):
+        assert main(["-steps", "0"]) == 2
+        assert main(["-width", "x"]) == 2
+
+    def test_no_validate_flag(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-runtime", "serial",
+                   "-no-validate"])
+        assert rc == 0
+
+
+class TestMETGMode:
+    def test_simulated_metg_sweep(self, capsys):
+        rc = main(["-steps", "20", "-width", "128", "-type", "stencil_1d",
+                   "-kernel", "compute_bound", "-runtime", "sim:mpi_p2p",
+                   "-nodes", "4", "-metg"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "METG(50%)" in out
+        assert "Probes" in out
+
+    def test_metg_with_explicit_target(self, capsys):
+        rc = main(["-steps", "15", "-width", "128", "-kernel", "compute_bound",
+                   "-type", "stencil_1d", "-runtime", "sim:mpi_p2p",
+                   "-nodes", "4", "-metg", "0.9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "METG(90%)" in out
+
+    def test_metg_target_followed_by_flag(self, capsys):
+        """-metg directly followed by another flag keeps the 0.5 default."""
+        rc = main(["-steps", "15", "-width", "128", "-kernel", "compute_bound",
+                   "-type", "stencil_1d", "-metg", "-runtime", "sim:mpi_p2p"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "METG(50%)" in out
+
+    def test_metg_invalid_target(self, capsys):
+        rc = main(["-metg", "1.5", "-runtime", "sim:mpi_p2p"])
+        assert rc == 2
+        assert "target" in capsys.readouterr().err
+
+    def test_metg_90_requires_larger_granularity(self, capsys):
+        args = ["-steps", "15", "-width", "128", "-kernel", "compute_bound",
+                "-type", "stencil_1d", "-runtime", "sim:mpi_p2p", "-nodes", "4"]
+        main(args + ["-metg", "0.5"])
+        out50 = capsys.readouterr().out
+        main(args + ["-metg", "0.9"])
+        out90 = capsys.readouterr().out
+        v50 = float(out50.splitlines()[0].split()[1])
+        v90 = float(out90.splitlines()[0].split()[1])
+        assert v90 > v50
+
+
+class TestScenarioFlag:
+    def test_scenario_on_real_runtime(self, capsys):
+        rc = main(["-scenario", "halo_exchange", "-width", "4", "-steps", "6",
+                   "-iter", "2", "-runtime", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Total Tasks 24" in out
+
+    def test_scenario_multi_graph(self, capsys):
+        rc = main(["-scenario", "multiphysics", "-width", "4", "-steps", "4",
+                   "-iter", "1", "-runtime", "threads", "-workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Total Tasks 48" in out  # 3 graphs x 4 x 4
+
+    def test_scenario_on_simulator(self, capsys):
+        rc = main(["-scenario", "radiation_sweep", "-width", "64",
+                   "-steps", "10", "-iter", "50",
+                   "-runtime", "sim:mpi_p2p", "-nodes", "2"])
+        assert rc == 0
+        assert "Executor: mpi_p2p" in capsys.readouterr().out
+
+    def test_unknown_scenario(self, capsys):
+        rc = main(["-scenario", "quantum_chess"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_missing_value(self, capsys):
+        rc = main(["-scenario"])
+        assert rc == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_scenario_with_metg(self, capsys):
+        rc = main(["-scenario", "halo_exchange", "-width", "128",
+                   "-steps", "10", "-runtime", "sim:mpi_p2p", "-nodes", "4",
+                   "-metg"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "METG(50%)" in out
+
+
+class TestRunConfig:
+    def test_sim_default_cores(self):
+        app = parse_args(["-steps", "5", "-width", "32",
+                          "-runtime", "sim:mpi_p2p"])
+        r = run_config(app)
+        assert r.cores == 32  # one node x default 32 cores
+
+    def test_workers_forwarded(self):
+        app = parse_args(["-steps", "5", "-width", "4",
+                          "-runtime", "bulk_sync", "-workers", "3"])
+        r = run_config(app)
+        assert r.cores == 3
+
+    def test_single_node_system_error_propagates(self):
+        app = parse_args(["-steps", "3", "-width", "8",
+                          "-runtime", "sim:openmp_task", "-nodes", "4"])
+        with pytest.raises(ValueError, match="single-node"):
+            run_config(app)

@@ -1,0 +1,152 @@
+"""Unit tests for command-line parameter parsing (paper Table 1)."""
+
+import pytest
+
+from repro.core import ConfigError, DependenceType, KernelType, parse_args
+from repro.core.config import default_graph
+
+
+class TestBasicFlags:
+    def test_empty_args_yield_default_graph(self):
+        app = parse_args([])
+        assert len(app.graphs) == 1
+        g = app.graphs[0]
+        assert g.timesteps == 10 and g.max_width == 4
+        assert g.dependence is DependenceType.TRIVIAL
+
+    def test_steps_width(self):
+        app = parse_args(["-steps", "100", "-width", "32"])
+        assert app.graphs[0].timesteps == 100
+        assert app.graphs[0].max_width == 32
+
+    def test_type_and_radix(self):
+        app = parse_args(["-type", "nearest", "-radix", "5"])
+        g = app.graphs[0]
+        assert g.dependence is DependenceType.NEAREST and g.radix == 5
+
+    def test_kernel_and_iterations(self):
+        app = parse_args(["-kernel", "compute_bound", "-iter", "2048"])
+        k = app.graphs[0].kernel
+        assert k.kernel_type is KernelType.COMPUTE_BOUND and k.iterations == 2048
+
+    def test_output_and_scratch(self):
+        app = parse_args(
+            ["-kernel", "memory_bound", "-iter", "4", "-span", "64",
+             "-output", "256", "-scratch", "4096"]
+        )
+        g = app.graphs[0]
+        assert g.output_bytes_per_task == 256
+        assert g.scratch_bytes_per_task == 4096
+        assert g.kernel.span_bytes == 64
+
+    def test_imbalance_and_seed(self):
+        app = parse_args(
+            ["-kernel", "load_imbalance", "-iter", "10", "-imbalance", "0.5",
+             "-seed", "42"]
+        )
+        g = app.graphs[0]
+        assert g.kernel.imbalance == 0.5 and g.seed == 42
+
+    def test_random_pattern_flags(self):
+        app = parse_args(
+            ["-type", "random_nearest", "-radix", "7", "-period", "4",
+             "-fraction", "0.3"]
+        )
+        g = app.graphs[0]
+        assert g.period == 4 and g.fraction_connected == 0.3
+
+    def test_wait_flag(self):
+        app = parse_args(["-kernel", "busy_wait", "-wait", "12.5"])
+        assert app.graphs[0].kernel.wait_us == 12.5
+
+
+class TestMultipleGraphs:
+    def test_and_separates_graphs(self):
+        app = parse_args(["-steps", "5", "-and", "-and", "-and"])
+        assert len(app.graphs) == 4
+        assert [g.graph_index for g in app.graphs] == [0, 1, 2, 3]
+
+    def test_and_inherits_previous_settings(self):
+        """Matches the official CLI: -and starts from the previous graph."""
+        app = parse_args(["-type", "stencil_1d", "-steps", "7", "-and", "-width", "9"])
+        g0, g1 = app.graphs
+        assert g1.dependence is DependenceType.STENCIL_1D
+        assert g1.timesteps == 7
+        assert g0.max_width == 4 and g1.max_width == 9
+
+    def test_heterogeneous_graphs(self):
+        app = parse_args(
+            ["-type", "stencil_1d", "-and", "-type", "fft", "-kernel",
+             "compute_bound", "-iter", "8"]
+        )
+        assert app.graphs[0].dependence is DependenceType.STENCIL_1D
+        assert app.graphs[1].dependence is DependenceType.FFT
+        assert app.graphs[0].kernel.kernel_type is KernelType.EMPTY
+
+
+class TestAppFlags:
+    def test_runtime_selection(self):
+        app = parse_args(["-runtime", "threads", "-workers", "4"])
+        assert app.runtime == "threads" and app.workers == 4
+
+    def test_machine_flags(self):
+        app = parse_args(["-nodes", "64", "-cores", "32"])
+        assert app.nodes == 64 and app.cores_per_node == 32
+
+    def test_no_validate(self):
+        assert parse_args(["-no-validate"]).validate is False
+        assert parse_args([]).validate is True
+
+    def test_verbose(self):
+        assert parse_args(["-verbose"]).verbose is True
+
+
+class TestErrors:
+    def test_unknown_flag(self):
+        with pytest.raises(ConfigError, match="unknown flag"):
+            parse_args(["-bogus"])
+
+    def test_missing_value(self):
+        with pytest.raises(ConfigError, match="missing its value"):
+            parse_args(["-steps"])
+
+    def test_non_integer_value(self):
+        with pytest.raises(ConfigError, match="integer"):
+            parse_args(["-steps", "ten"])
+
+    def test_non_numeric_fraction(self):
+        with pytest.raises(ConfigError, match="number"):
+            parse_args(["-fraction", "x"])
+
+    def test_bad_dependence_type(self):
+        with pytest.raises(ValueError, match="unknown dependence"):
+            parse_args(["-type", "hexagon"])
+
+    def test_bad_kernel_type(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            parse_args(["-kernel", "quantum"])
+
+    def test_invalid_graph_parameters_propagate(self):
+        with pytest.raises(ConfigError):
+            parse_args(["-steps", "0"])
+        with pytest.raises(ConfigError):
+            parse_args(["-width", "-3"])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigError, match="-workers"):
+            parse_args(["-workers", "0"])
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigError, match="-nodes"):
+            parse_args(["-nodes", "0"])
+
+
+class TestDefaultGraph:
+    def test_default_graph_is_valid(self):
+        g = default_graph()
+        assert g.total_tasks() > 0
+        assert g.dependence is DependenceType.STENCIL_1D
+
+    def test_default_graph_overrides(self):
+        g = default_graph(max_width=16)
+        assert g.max_width == 16

@@ -1,0 +1,60 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Only the quick ones run here (the figure-regeneration examples
+take tens of seconds and are exercised by the benchmark harness instead).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py", "metg_stencil.py", "scaling_study.py",
+        "communication_hiding.py", "load_imbalance.py", "gpu_offload.py",
+        "application_scenarios.py", "paper_figures.py", "custom_study.py",
+    } <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "graph 0" in out
+    assert "two concurrent graphs" in out
+    assert "Total Tasks 600" in out
+
+
+def test_gpu_offload():
+    out = run_example("gpu_offload.py")
+    assert "crossover" in out
+    assert "TFLOP/s" in out
+
+
+def test_load_imbalance():
+    out = run_example("load_imbalance.py")
+    assert "chapel_distrib" in out
+    assert "peak efficiency" in out
+
+
+@pytest.mark.slow
+def test_metg_stencil():
+    out = run_example("metg_stencil.py", timeout=600)
+    assert "METG(50%)" in out
+    assert "390 ns" in out

@@ -1,0 +1,219 @@
+"""Integration tests: every executor x every dependence pattern x validation.
+
+These are the repository's end-to-end correctness net: the core library
+validates every input of every task, so a passing run proves the executor
+scheduled and routed every buffer exactly per the graph specification
+(paper §2: "every execution of Task Bench, if it completes successfully, is
+correct").
+"""
+
+import pytest
+
+from repro.core import (
+    DependenceType,
+    Kernel,
+    KernelType,
+    TaskGraph,
+    ValidationError,
+)
+from repro.runtimes import available_runtimes, make_executor
+
+ALL_RUNTIMES = available_runtimes()
+ALL_PATTERNS = list(DependenceType)
+
+# 'processes' forks a pool per run; exercise it in the dedicated tests below
+# rather than in every grid cell to keep the suite fast.
+THREADED_RUNTIMES = [r for r in ALL_RUNTIMES if r != "processes"]
+
+
+def make_graph(pattern, **kw):
+    base = dict(
+        timesteps=8,
+        max_width=5,
+        dependence=pattern,
+        radix=3,
+        fraction_connected=0.5,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=2),
+        output_bytes_per_task=16,
+    )
+    base.update(kw)
+    return TaskGraph(**base)
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+@pytest.mark.parametrize("pattern", ALL_PATTERNS)
+def test_every_pattern_validates(runtime, pattern):
+    g = make_graph(pattern)
+    r = make_executor(runtime, workers=2).run([g])
+    assert r.total_tasks == g.total_tasks()
+    assert r.validated
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_multiple_heterogeneous_graphs(runtime):
+    graphs = [
+        make_graph(DependenceType.STENCIL_1D, graph_index=0),
+        make_graph(DependenceType.FFT, timesteps=5, max_width=8, graph_index=1),
+        make_graph(DependenceType.TREE, timesteps=4, graph_index=2),
+    ]
+    r = make_executor(runtime, workers=3).run(graphs)
+    assert r.total_tasks == sum(g.total_tasks() for g in graphs)
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_memory_kernel_with_scratch(runtime):
+    g = make_graph(
+        DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=2, span_bytes=16),
+        scratch_bytes_per_task=128,
+    )
+    r = make_executor(runtime, workers=2).run([g])
+    assert r.total_bytes == g.total_bytes() > 0
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_load_imbalance_kernel(runtime):
+    g = make_graph(
+        DependenceType.NEAREST,
+        radix=5,
+        kernel=Kernel(
+            kernel_type=KernelType.LOAD_IMBALANCE, iterations=20, imbalance=1.0
+        ),
+    )
+    r = make_executor(runtime, workers=2).run([g])
+    assert 0 < r.total_flops < g.total_tasks() * 20 * 128
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_single_column_graph(runtime):
+    g = make_graph(DependenceType.NO_COMM, max_width=1, timesteps=10)
+    r = make_executor(runtime, workers=2).run([g])
+    assert r.total_tasks == 10
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_single_timestep_graph(runtime):
+    g = make_graph(DependenceType.STENCIL_1D, timesteps=1)
+    r = make_executor(runtime, workers=2).run([g])
+    assert r.total_tasks == 5
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_more_workers_than_columns(runtime):
+    g = make_graph(DependenceType.STENCIL_1D, max_width=2)
+    make_executor(runtime, workers=6).run([g])
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_validation_detects_corrupted_producer(runtime, monkeypatch):
+    """Corrupt the output of one mid-graph producer: every executor must
+    surface the ValidationError raised by its consumers."""
+    real = TaskGraph.execute_point
+
+    def corrupting(self, t, i, inputs, scratch=None, validate=True):
+        out = real(self, t, i, inputs, scratch=scratch, validate=validate)
+        if (t, i) == (3, 2) and out.nbytes:
+            out = out.copy()
+            out[0] ^= 0xFF
+        return out
+
+    monkeypatch.setattr(TaskGraph, "execute_point", corrupting)
+    g = make_graph(DependenceType.STENCIL_1D)
+    with pytest.raises(ValidationError):
+        make_executor(runtime, workers=2).run([g])
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_kernel_exception_propagates(runtime, monkeypatch):
+    """A kernel crash inside a worker must propagate to the caller, not hang
+    the executor."""
+
+    def boom(self, t=0, i=0, scratch=None, seed=0):
+        if (t, i) == (2, 1):
+            raise RuntimeError("injected kernel failure")
+
+    monkeypatch.setattr(Kernel, "execute", boom)
+    g = make_graph(DependenceType.STENCIL_1D)
+    with pytest.raises(RuntimeError, match="injected kernel failure"):
+        make_executor(runtime, workers=2).run([g])
+
+
+@pytest.mark.parametrize("runtime", ALL_RUNTIMES)
+def test_run_result_fields(runtime):
+    g = make_graph(DependenceType.STENCIL_1D, timesteps=4)
+    ex = make_executor(runtime, workers=2)
+    r = ex.run([g])
+    assert r.executor == runtime
+    assert r.elapsed_seconds > 0
+    assert r.cores == ex.cores >= 1
+    assert r.total_dependencies == g.total_dependencies()
+    assert r.task_granularity_seconds > 0
+
+
+def test_processes_executor_patterns():
+    """Exercise the fork-pool executor once across a few patterns."""
+    graphs = [
+        make_graph(DependenceType.STENCIL_1D, graph_index=0),
+        make_graph(DependenceType.SPREAD, graph_index=1),
+    ]
+    r = make_executor("processes", workers=2).run(graphs)
+    assert r.total_tasks == sum(g.total_tasks() for g in graphs)
+
+
+def test_processes_memory_kernel():
+    g = make_graph(
+        DependenceType.STENCIL_1D,
+        timesteps=3,
+        kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=1, span_bytes=8),
+        scratch_bytes_per_task=64,
+    )
+    make_executor("processes", workers=2).run([g])
+
+
+@pytest.mark.parametrize("runtime", THREADED_RUNTIMES)
+def test_validate_flag_skips_checks(runtime):
+    g = make_graph(DependenceType.STENCIL_1D)
+    r = make_executor(runtime, workers=2).run([g], validate=False)
+    assert not r.validated
+
+
+def test_graph_index_mismatch_rejected():
+    g = make_graph(DependenceType.TRIVIAL, graph_index=1)
+    with pytest.raises(ValueError, match="graph_index"):
+        make_executor("serial").run([g])
+
+
+def test_empty_graph_list_rejected():
+    with pytest.raises(ValueError):
+        make_executor("serial").run([])
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in available_runtimes():
+            ex = make_executor(name, workers=2)
+            assert ex.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown runtime"):
+            make_executor("slurm")
+
+    def test_expected_runtime_set(self):
+        assert set(available_runtimes()) == {
+            "serial", "bulk_sync", "p2p", "threads", "processes",
+            "dataflow", "ptg", "actors", "centralized", "futures",
+            "asyncio",
+        }
+
+    def test_kwargs_forwarded(self):
+        ex = make_executor("dataflow", workers=2, nb_fields=3)
+        assert ex.nb_fields == 3
+        ex = make_executor("centralized", workers=2, dispatch_overhead_us=5.0)
+        assert ex.dispatch_overhead_us == 5.0
+
+    def test_invalid_worker_counts(self):
+        for name in available_runtimes():
+            if name == "serial":
+                continue
+            with pytest.raises(ValueError):
+                make_executor(name, workers=0)

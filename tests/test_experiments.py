@@ -1,0 +1,146 @@
+"""Tests for the batch experiment-grid driver."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentGrid,
+    PatternSpec,
+    ResultTable,
+    run_grid,
+)
+from repro.core import DependenceType
+
+STENCIL = PatternSpec(DependenceType.STENCIL_1D)
+NEAREST5 = PatternSpec(DependenceType.NEAREST, radix=5)
+
+
+class TestPatternSpec:
+    def test_label_plain(self):
+        assert STENCIL.label == "stencil_1d"
+
+    def test_label_with_radix(self):
+        assert NEAREST5.label == "nearest_r5"
+
+    def test_label_with_graphs(self):
+        p = PatternSpec(DependenceType.NEAREST, radix=5, ngraphs=4)
+        assert p.label == "nearest_r5_x4"
+
+
+class TestRunGrid:
+    @pytest.fixture(scope="class")
+    def table(self):
+        grid = ExperimentGrid(
+            systems=("mpi_p2p", "charmpp"),
+            node_counts=(1, 4),
+            patterns=(STENCIL, NEAREST5),
+            steps=10,
+        )
+        return run_grid(grid)
+
+    def test_cell_count(self, table):
+        assert len(table) == 2 * 2 * 2
+
+    def test_rows_have_metg(self, table):
+        assert all(r["metg_seconds"] is not None for r in table)
+
+    def test_filter(self, table):
+        sub = table.filter(system="mpi_p2p", nodes=1)
+        assert len(sub) == 2
+        assert set(sub.column("pattern")) == {"stencil_1d", "nearest_r5"}
+
+    def test_values(self, table):
+        assert table.values("nodes") == [1, 4]
+
+    def test_metg_orderings_hold(self, table):
+        """Cross-cutting sanity: more nodes and more deps -> larger METG."""
+        def v(**kw):
+            return table.filter(**kw).rows[0]["metg_seconds"]
+
+        assert v(system="mpi_p2p", nodes=4, pattern="stencil_1d") > v(
+            system="mpi_p2p", nodes=1, pattern="stencil_1d")
+        assert v(system="mpi_p2p", nodes=1, pattern="nearest_r5") > v(
+            system="mpi_p2p", nodes=1, pattern="stencil_1d")
+
+    def test_to_figure(self, table):
+        fig = table.filter(pattern="stencil_1d").to_figure(
+            x="nodes", series="system", y="metg_seconds")
+        assert set(fig.labels) == {"mpi_p2p", "charmpp"}
+        s = fig.get("mpi_p2p")
+        assert s.x == [1.0, 4.0]
+        assert s.y[1] > s.y[0]
+
+    def test_efficiency_measure(self):
+        grid = ExperimentGrid(
+            systems=("mpi_p2p",),
+            patterns=(STENCIL,),
+            measure="efficiency",
+            iterations=100000,
+            steps=10,
+        )
+        table = run_grid(grid)
+        assert 0.9 < table.rows[0]["efficiency"] <= 1.0
+        assert table.rows[0]["granularity_seconds"] > 0
+
+    def test_unachievable_cells_are_none(self):
+        grid = ExperimentGrid(
+            systems=("spark",),
+            patterns=(STENCIL,),
+            steps=5,
+            target_efficiency=0.99,  # controller floor makes this very hard
+            cores_per_node=32,
+        )
+        table = run_grid(grid)
+        # either None (unachievable) or a huge value; the grid must not raise
+        assert len(table) == 1
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="measure"):
+            run_grid(ExperimentGrid(measure="vibes"))
+
+    def test_payload_sweep(self):
+        grid = ExperimentGrid(
+            systems=("mpi_p2p",),
+            node_counts=(4,),
+            patterns=(STENCIL,),
+            output_bytes=(16, 65536),
+            steps=10,
+        )
+        table = run_grid(grid)
+        small, big = (r["metg_seconds"] for r in table)
+        assert big > small  # larger payloads need larger tasks
+
+
+class TestResultTable:
+    def rows(self):
+        return [
+            {"system": "a", "nodes": 1, "metg_seconds": 1e-6},
+            {"system": "a", "nodes": 4, "metg_seconds": 2e-6},
+            {"system": "b", "nodes": 1, "metg_seconds": None},
+        ]
+
+    def test_to_figure_skips_none(self):
+        fig = ResultTable(self.rows()).to_figure(
+            x="nodes", series="system", y="metg_seconds")
+        assert fig.labels == ["a"]  # b had no valid points
+
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "table.csv"
+        t = ResultTable(self.rows())
+        t.to_csv(path)
+        t2 = ResultTable.from_csv(path)
+        assert len(t2) == 3
+        assert t2.rows[0]["system"] == "a"
+        assert t2.rows[0]["nodes"] == 1
+        assert t2.rows[1]["metg_seconds"] == pytest.approx(2e-6)
+        assert t2.rows[2]["metg_seconds"] is None
+
+    def test_iteration(self):
+        assert [r["system"] for r in ResultTable(self.rows())] == ["a", "a", "b"]
+
+    def test_figure_round_trips_through_archive(self, tmp_path):
+        from repro.analysis import load_figure_json, save_figure_json
+
+        fig = ResultTable(self.rows()).to_figure(
+            x="nodes", series="system", y="metg_seconds")
+        save_figure_json(fig, tmp_path / "f.json")
+        assert load_figure_json(tmp_path / "f.json") == fig

@@ -1,0 +1,103 @@
+"""Stress and semantics tests for the futures and asyncio executors.
+
+The basic correctness grid in ``test_executors.py`` covers them; here we
+check the paradigm-specific properties: the FIFO/topological deadlock-
+freedom argument of the futures executor, and the unbounded-suspension /
+bounded-execution split of the asyncio executor.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.runtimes import AsyncioExecutor, FuturesExecutor
+
+
+def graph(width, steps=12, pattern=DependenceType.STENCIL_1D, gi=0, radix=3):
+    return TaskGraph(
+        timesteps=steps,
+        max_width=width,
+        dependence=pattern,
+        radix=radix,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=2),
+        graph_index=gi,
+    )
+
+
+class TestFuturesDeadlockFreedom:
+    """The executor blocks inside tasks on input futures; FIFO + topological
+    submission order is the no-deadlock argument.  Stress the narrow-pool
+    regimes where a wrong order would hang."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    @pytest.mark.parametrize("width", [1, 4, 16, 33])
+    def test_narrow_pools_wide_graphs(self, workers, width):
+        r = FuturesExecutor(workers=workers).run([graph(width)])
+        assert r.total_tasks == width * 12
+
+    def test_single_worker_all_patterns(self):
+        for pattern in (DependenceType.ALL_TO_ALL, DependenceType.FFT,
+                        DependenceType.TREE, DependenceType.SPREAD):
+            FuturesExecutor(workers=1).run([graph(6, pattern=pattern)])
+
+    def test_many_graphs_one_worker(self):
+        graphs = [graph(5, gi=k) for k in range(6)]
+        r = FuturesExecutor(workers=1).run(graphs)
+        assert r.total_tasks == 6 * 5 * 12
+
+    def test_exception_does_not_hang(self, monkeypatch):
+        def boom(self, t=0, i=0, scratch=None, seed=0):
+            if (t, i) == (5, 2):
+                raise RuntimeError("kernel crash")
+
+        monkeypatch.setattr(Kernel, "execute", boom)
+        done = []
+
+        def run():
+            with pytest.raises(RuntimeError, match="kernel crash"):
+                FuturesExecutor(workers=2).run([graph(4)])
+            done.append(True)
+
+        th = threading.Thread(target=run, daemon=True)
+        th.start()
+        th.join(timeout=30)
+        assert done, "futures executor hung on task failure"
+
+
+class TestAsyncioExecutor:
+    def test_many_suspended_few_running(self):
+        """A tall, wide graph creates far more coroutines than the worker
+        semaphore permits; all must complete."""
+        g = graph(32, steps=20)
+        r = AsyncioExecutor(workers=2).run([g])
+        assert r.total_tasks == 640
+
+    def test_single_permit_serializes_correctly(self):
+        r = AsyncioExecutor(workers=1).run([graph(8)])
+        assert r.total_tasks == 96
+
+    def test_heterogeneous_graphs(self):
+        graphs = [
+            graph(6, gi=0),
+            graph(8, gi=1, pattern=DependenceType.TREE),
+            graph(4, gi=2, pattern=DependenceType.ALL_TO_ALL),
+        ]
+        r = AsyncioExecutor(workers=3).run(graphs)
+        assert r.total_tasks == sum(g.total_tasks() for g in graphs)
+
+    def test_exception_propagates_and_loop_closes(self, monkeypatch):
+        def boom(self, t=0, i=0, scratch=None, seed=0):
+            if (t, i) == (3, 1):
+                raise ValueError("async kernel crash")
+
+        monkeypatch.setattr(Kernel, "execute", boom)
+        with pytest.raises(ValueError, match="async kernel crash"):
+            AsyncioExecutor(workers=2).run([graph(4)])
+        # the loop must be fully torn down: a fresh run works
+        monkeypatch.undo()
+        AsyncioExecutor(workers=2).run([graph(4)])
+
+    def test_validation_enabled_by_default(self):
+        r = AsyncioExecutor(workers=2).run([graph(4)])
+        assert r.validated

@@ -1,0 +1,103 @@
+"""Tests for the GPU offload model (paper §5.8, Figure 13)."""
+
+import pytest
+
+from repro.sim import (
+    GPUNodeSpec,
+    PIZ_DAINT,
+    cpu_time_per_timestep,
+    crossover_problem_size,
+    figure13_series,
+    gpu_time_per_timestep_w1,
+    gpu_time_per_timestep_w4,
+)
+
+
+class TestSpec:
+    def test_piz_daint_peaks_match_paper(self):
+        """Paper §5.8: CPU 5.726e11 FLOP/s, GPU 4.759e12 FLOP/s."""
+        assert PIZ_DAINT.cpu_flops == pytest.approx(5.726e11)
+        assert PIZ_DAINT.gpu_flops == pytest.approx(4.759e12)
+        assert PIZ_DAINT.cpu_cores == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUNodeSpec(cpu_cores=0)
+        with pytest.raises(ValueError):
+            GPUNodeSpec(gpu_flops=0)
+        with pytest.raises(ValueError):
+            GPUNodeSpec(arithmetic_intensity=0)
+
+    def test_copy_bytes_scale_with_problem(self):
+        assert PIZ_DAINT.copy_bytes(1e9) > PIZ_DAINT.copy_bytes(1e6) > 0
+
+
+class TestTimestepModels:
+    def test_cpu_approaches_cpu_peak(self):
+        flops = 1e12
+        rate = flops / cpu_time_per_timestep(PIZ_DAINT, flops)
+        assert rate == pytest.approx(PIZ_DAINT.cpu_flops, rel=0.01)
+
+    def test_w4_approaches_gpu_peak(self):
+        flops = 1e13
+        rate = flops / gpu_time_per_timestep_w4(PIZ_DAINT, flops)
+        assert rate > 0.95 * PIZ_DAINT.gpu_flops
+
+    def test_w1_capped_below_gpu_peak_by_copies(self):
+        """w1's serial copies keep it measurably below the GPU peak even at
+        the largest problem sizes."""
+        flops = 1e13
+        rate = flops / gpu_time_per_timestep_w1(PIZ_DAINT, flops)
+        w4_rate = flops / gpu_time_per_timestep_w4(PIZ_DAINT, flops)
+        assert rate < w4_rate
+
+    def test_w1_beats_w4_at_small_sizes(self):
+        """Paper: w4 'drops more rapidly at smaller problem sizes' (4x the
+        kernel-launch overhead)."""
+        flops = 1e5
+        assert gpu_time_per_timestep_w1(PIZ_DAINT, flops) < gpu_time_per_timestep_w4(
+            PIZ_DAINT, flops
+        )
+
+    def test_times_monotone_in_flops(self):
+        for fn in (gpu_time_per_timestep_w1, gpu_time_per_timestep_w4):
+            assert fn(PIZ_DAINT, 1e10) > fn(PIZ_DAINT, 1e8)
+
+
+class TestFigure13:
+    def test_series_present(self):
+        data = figure13_series()
+        assert set(data) == {"mpi_cpu", "mpi_cuda_w1", "mpi_cuda_w4"}
+
+    def test_cpu_wins_at_small_granularity(self):
+        """Paper §5.8: 'the overhead of copying data dominates at small
+        task granularities, where the CPU achieves higher performance'."""
+        data = figure13_series()
+        smallest = 0
+        assert data["mpi_cpu"][smallest][1] > data["mpi_cuda_w1"][smallest][1]
+        assert data["mpi_cpu"][smallest][1] > data["mpi_cuda_w4"][smallest][1]
+
+    def test_gpu_wins_at_large_granularity(self):
+        data = figure13_series()
+        assert data["mpi_cuda_w4"][-1][1] > data["mpi_cpu"][-1][1]
+        assert data["mpi_cuda_w1"][-1][1] > data["mpi_cpu"][-1][1]
+
+    def test_w4_higher_asymptote_than_w1(self):
+        """Paper: 'w4 achieves higher FLOP/s'."""
+        data = figure13_series()
+        assert data["mpi_cuda_w4"][-1][1] > data["mpi_cuda_w1"][-1][1]
+
+    def test_crossover_exists_and_is_interior(self):
+        x = crossover_problem_size()
+        sizes = [p[0] for p in figure13_series()["mpi_cpu"]]
+        assert sizes[0] < x < sizes[-1]
+
+    def test_custom_problem_sizes(self):
+        data = figure13_series(problem_sizes=[1e6, 1e9])
+        assert len(data["mpi_cpu"]) == 2
+
+    def test_rates_positive_and_bounded(self):
+        data = figure13_series()
+        for label, pts in data.items():
+            for flops, rate in pts:
+                assert 0 < rate <= PIZ_DAINT.gpu_flops * 1.001, label

@@ -1,0 +1,210 @@
+"""Tests for the METG metric machinery (paper §4)."""
+
+import pytest
+
+from repro.core import DependenceType
+from repro.metg import (
+    METGUnachievable,
+    RealRunner,
+    SimRunner,
+    calibrate_kernel_flops,
+    compute_workload,
+    efficiency_curve,
+    measure,
+    memory_workload,
+    metg,
+    strong_scaling,
+    strong_scaling_limit_nodes,
+    weak_scaling,
+)
+from repro.runtimes import SerialExecutor
+from repro.sim import ARIES, CORI_HASWELL, IDEAL, MachineSpec, RuntimeModel, get_system
+
+SMALL = MachineSpec(nodes=1, cores_per_node=4)
+SMALL4 = MachineSpec(nodes=4, cores_per_node=4)
+
+
+def runner(system="mpi_p2p", machine=SMALL, network=ARIES):
+    return SimRunner(system, machine, network)
+
+
+class TestMeasurement:
+    def test_measure_reports_efficiency(self):
+        r = runner()
+        m = measure(r, compute_workload(r.worker_width, steps=20), 100000)
+        assert 0.9 < m.efficiency <= 1.0
+
+    def test_small_tasks_inefficient(self):
+        r = runner()
+        m = measure(r, compute_workload(r.worker_width, steps=20), 1)
+        assert m.efficiency < 0.1
+
+    def test_memory_metric(self):
+        r = runner()
+        wl = memory_workload(r.worker_width, steps=10, span_bytes=1 << 16,
+                             scratch_bytes=1 << 20)
+        m = measure(r, wl, 1000, metric="bytes")
+        assert 0.0 < m.efficiency <= 1.01
+
+    def test_unknown_metric_rejected(self):
+        r = runner()
+        with pytest.raises(ValueError, match="unknown efficiency metric"):
+            measure(r, compute_workload(r.worker_width), 10, metric="watts")
+
+    def test_curve_is_monotone_in_iterations(self):
+        r = runner()
+        wl = compute_workload(r.worker_width, steps=20)
+        curve = efficiency_curve(r, wl, [10, 100, 1000, 10000, 100000])
+        effs = [m.efficiency for m in reversed(curve)]  # ascending iterations
+        assert effs == sorted(effs)
+
+    def test_curve_sorted_largest_first(self):
+        r = runner()
+        curve = efficiency_curve(r, compute_workload(r.worker_width, steps=10),
+                                 [10, 1000])
+        assert curve[0].iterations == 1000
+
+
+class TestMETG:
+    def test_metg_mpi_one_node_matches_paper(self):
+        """Paper §4: MPI METG(50%) = 4.6 us for the 1-node stencil."""
+        r = SimRunner("mpi_p2p", CORI_HASWELL)
+        res = metg(r, compute_workload(r.worker_width, steps=50))
+        assert 3.0e-6 < res.metg_seconds < 7.0e-6
+
+    def test_metg_mpi_zero_deps_matches_paper(self):
+        """Paper §5.5: MPI METG of 390 ns with 0 dependencies."""
+        r = SimRunner("mpi_p2p", CORI_HASWELL)
+        wl = compute_workload(r.worker_width, steps=50,
+                              dependence=DependenceType.NEAREST, radix=0)
+        res = metg(r, wl)
+        assert 0.2e-6 < res.metg_seconds < 0.8e-6
+
+    def test_bracketing_invariant(self):
+        r = runner()
+        res = metg(r, compute_workload(r.worker_width, steps=20))
+        assert res.above.efficiency >= 0.5
+        if res.below is not None:
+            assert res.below.efficiency < 0.5
+            assert res.below.iterations < res.above.iterations
+
+    def test_metg_between_bracket_granularities(self):
+        r = runner()
+        res = metg(r, compute_workload(r.worker_width, steps=20))
+        lo = min(res.below.granularity_seconds, res.above.granularity_seconds)
+        hi = max(res.below.granularity_seconds, res.above.granularity_seconds)
+        assert lo <= res.metg_seconds <= hi
+
+    def test_higher_target_needs_larger_granularity(self):
+        r = runner()
+        wl = compute_workload(r.worker_width, steps=20)
+        m50 = metg(r, wl, target_efficiency=0.5)
+        m90 = metg(r, wl, target_efficiency=0.9)
+        assert m90.metg_seconds > m50.metg_seconds
+
+    def test_unachievable_raises(self):
+        """A model whose reserved cores cap efficiency below 90% can never
+        reach METG(90%)."""
+        m8 = MachineSpec(nodes=1, cores_per_node=8)
+        model = RuntimeModel(name="hog", runtime_cores_per_node=2)
+        r = SimRunner(model, m8, IDEAL, scale_reserved=False)
+        with pytest.raises(METGUnachievable):
+            metg(r, compute_workload(r.worker_width, steps=10),
+                 target_efficiency=0.9, max_iterations=1 << 22)
+
+    def test_invalid_target(self):
+        r = runner()
+        with pytest.raises(ValueError):
+            metg(r, compute_workload(r.worker_width), target_efficiency=1.5)
+
+    def test_history_recorded(self):
+        r = runner()
+        res = metg(r, compute_workload(r.worker_width, steps=10))
+        assert len(res.history) >= 2
+        assert res.above in res.history
+
+    def test_unit_conversions(self):
+        r = runner()
+        res = metg(r, compute_workload(r.worker_width, steps=10))
+        assert res.metg_milliseconds == pytest.approx(res.metg_seconds * 1e3)
+        assert res.metg_microseconds == pytest.approx(res.metg_seconds * 1e6)
+
+    def test_metg_ordering_across_systems(self):
+        """Key paper finding: the overhead spectrum orders systems; MPI <
+        asynchronous HPC runtimes < data-analytics systems."""
+        vals = {}
+        for name in ("mpi_p2p", "charmpp", "regent", "spark"):
+            r = SimRunner(name, SMALL)
+            vals[name] = metg(r, compute_workload(r.worker_width, steps=15)).metg_seconds
+        assert vals["mpi_p2p"] < vals["charmpp"] < vals["regent"] < vals["spark"]
+
+    def test_metg_rises_with_node_count(self):
+        """Paper §5.4: METG grows roughly an order of magnitude by 256
+        nodes; check monotone growth on a smaller sweep."""
+        vals = []
+        for nodes in (1, 4, 16):
+            m = MachineSpec(nodes=nodes, cores_per_node=4)
+            r = SimRunner("mpi_p2p", m)
+            vals.append(metg(r, compute_workload(r.worker_width, steps=15)).metg_seconds)
+        assert vals[0] < vals[1] < vals[2]
+
+
+class TestRealRunner:
+    def test_serial_executor_metg(self):
+        """The real serial executor has measurable METG on this host: the
+        per-task Python overhead."""
+        r = RealRunner(SerialExecutor())
+        res = metg(
+            r,
+            compute_workload(2, steps=10, dependence=DependenceType.TRIVIAL),
+            max_iterations=1 << 22,
+        )
+        # Python-level per-task overhead: somewhere between 1 us and 50 ms
+        assert 1e-6 < res.metg_seconds < 5e-2
+
+    def test_calibration_positive(self):
+        rate = calibrate_kernel_flops(iterations=2000, repeats=1)
+        assert rate > 1e6  # any real machine beats 1 MFLOP/s
+
+    def test_real_runner_peak_scales_with_cores(self):
+        from repro.runtimes import BulkSyncExecutor
+
+        r1 = RealRunner(SerialExecutor())
+        r2 = RealRunner(BulkSyncExecutor(workers=2))
+        r1._peak_per_core = r2._peak_per_core = 1e9
+        assert r2.peak_flops == 2 * r1.peak_flops
+
+
+class TestScaling:
+    def test_weak_scaling_flat_at_large_tasks(self):
+        """Paper Figure 4: large problem sizes weak-scale flat."""
+        pts = weak_scaling(get_system("mpi_p2p"), [1, 2, 4], 200000,
+                           machine=SMALL, steps=10)
+        walls = [p.wall_seconds for p in pts]
+        assert max(walls) / min(walls) < 1.2
+
+    def test_weak_scaling_degrades_at_small_tasks(self):
+        """Paper Figure 4: small problem sizes stop scaling."""
+        pts = weak_scaling(get_system("mpi_p2p"), [1, 4, 16], 20,
+                           machine=SMALL, steps=10)
+        assert pts[-1].efficiency < pts[0].efficiency
+
+    def test_strong_scaling_reduces_wall_time(self):
+        """Paper Figure 5: large problems strong-scale downward."""
+        pts = strong_scaling(get_system("mpi_p2p"), [1, 2, 4], 40_000_000,
+                             machine=SMALL, steps=10)
+        walls = [p.wall_seconds for p in pts]
+        assert walls[-1] < walls[0] / 2
+
+    def test_strong_scaling_stops_at_metg(self):
+        """Paper §4: strong scaling stops where granularity hits METG."""
+        pts = strong_scaling(get_system("mpi_p2p"), [1, 2, 4, 8, 16], 300_000,
+                             machine=SMALL, steps=10)
+        limit = strong_scaling_limit_nodes(pts)
+        assert 0 < limit < 16
+
+    def test_scaling_point_fields(self):
+        pts = weak_scaling(get_system("mpi_p2p"), [1], 1000, machine=SMALL, steps=5)
+        p = pts[0]
+        assert p.nodes == 1 and p.iterations_per_task == 1000
+        assert p.granularity_seconds > 0 and 0 < p.efficiency <= 1.0

@@ -1,0 +1,116 @@
+"""Unit tests for run metrics and the task-granularity formula (paper §4)."""
+
+import pytest
+
+from repro.core import (
+    DependenceType,
+    Kernel,
+    KernelType,
+    RunResult,
+    TaskGraph,
+    summarize_graphs,
+)
+
+
+def result(**kw):
+    base = dict(
+        executor="test",
+        elapsed_seconds=2.0,
+        cores=4,
+        total_tasks=100,
+        total_dependencies=300,
+        total_flops=800,
+        total_bytes=1600,
+    )
+    base.update(kw)
+    return RunResult(**base)
+
+
+class TestDerivedQuantities:
+    def test_flops_per_second(self):
+        assert result().flops_per_second == 400.0
+
+    def test_bytes_per_second(self):
+        assert result().bytes_per_second == 800.0
+
+    def test_tasks_per_second(self):
+        assert result().tasks_per_second == 50.0
+
+    def test_task_granularity_formula(self):
+        """Task granularity = wall time x cores / tasks (paper §4)."""
+        r = result(elapsed_seconds=1.0, cores=32, total_tasks=32000)
+        assert r.task_granularity_seconds == pytest.approx(0.001)
+
+    def test_efficiency(self):
+        assert result().efficiency(800.0) == pytest.approx(0.5)
+
+    def test_memory_efficiency(self):
+        assert result().memory_efficiency(1600.0) == pytest.approx(0.5)
+
+    def test_efficiency_rejects_bad_peak(self):
+        with pytest.raises(ValueError):
+            result().efficiency(0.0)
+        with pytest.raises(ValueError):
+            result().memory_efficiency(-1.0)
+
+    def test_zero_elapsed_rates_are_zero(self):
+        r = result(elapsed_seconds=0.0)
+        assert r.flops_per_second == 0.0
+        assert r.tasks_per_second == 0.0
+
+    def test_with_elapsed(self):
+        r = result().with_elapsed(4.0)
+        assert r.elapsed_seconds == 4.0 and r.total_tasks == 100
+
+
+class TestInvariants:
+    def test_rejects_negative_elapsed(self):
+        with pytest.raises(ValueError):
+            result(elapsed_seconds=-1.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            result(cores=0)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            result(total_tasks=0)
+
+
+class TestReport:
+    def test_report_contains_uniform_fields(self):
+        text = result().report()
+        for field in ("Total Tasks", "Total Dependencies", "Elapsed Time",
+                      "FLOP/s", "Task Granularity"):
+            assert field in text
+
+
+class TestSummarizeGraphs:
+    def graphs(self):
+        k = Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=4)
+        return [
+            TaskGraph(timesteps=4, max_width=4,
+                      dependence=DependenceType.STENCIL_1D, kernel=k,
+                      graph_index=0),
+            TaskGraph(timesteps=4, max_width=2,
+                      dependence=DependenceType.TRIVIAL, kernel=k,
+                      graph_index=1),
+        ]
+
+    def test_totals_sum_over_graphs(self):
+        r = summarize_graphs("x", self.graphs(), 1.0, 2)
+        assert r.total_tasks == 16 + 8
+        assert r.total_flops == 24 * 4 * 128
+
+    def test_dependencies_sum(self):
+        gs = self.graphs()
+        r = summarize_graphs("x", gs, 1.0, 2)
+        assert r.total_dependencies == sum(g.total_dependencies() for g in gs)
+
+    def test_requires_graphs(self):
+        with pytest.raises(ValueError):
+            summarize_graphs("x", [], 1.0, 2)
+
+    def test_validated_flag_carried(self):
+        r = summarize_graphs("x", self.graphs(), 1.0, 2, validated=False)
+        assert r.validated is False

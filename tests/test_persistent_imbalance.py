@@ -1,0 +1,122 @@
+"""Tests for the persistent-imbalance extension (paper §5.7 future work).
+
+The paper's imbalance is non-persistent ("timestep t is uncorrelated with
+timestep t+1"), which asynchrony alone partially mitigates because per-core
+work averages out over time.  With *persistent* imbalance the same columns
+are slow every timestep, per-core work never averages out, and only
+migration (here: work stealing) recovers efficiency.
+"""
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.core import parse_args
+from repro.metg import SimRunner, compute_workload, measure
+from repro.sim import IDEAL, MachineSpec, RuntimeModel, simulate_with_stats
+
+
+def imbalanced_kernel(persistent, iterations=10000):
+    return Kernel(
+        kernel_type=KernelType.LOAD_IMBALANCE,
+        iterations=iterations,
+        imbalance=1.0,
+        persistent=persistent,
+    )
+
+
+class TestKernelSemantics:
+    def test_persistent_multiplier_constant_over_time(self):
+        k = imbalanced_kernel(True)
+        ms = {k.duration_multiplier(t, 3, seed=1) for t in range(50)}
+        assert len(ms) == 1
+
+    def test_non_persistent_varies_over_time(self):
+        k = imbalanced_kernel(False)
+        ms = {k.duration_multiplier(t, 3, seed=1) for t in range(50)}
+        assert len(ms) > 25
+
+    def test_persistent_varies_across_columns(self):
+        k = imbalanced_kernel(True)
+        ms = {k.duration_multiplier(0, i, seed=1) for i in range(50)}
+        assert len(ms) > 25
+
+    def test_cli_flag(self):
+        app = parse_args(
+            ["-kernel", "load_imbalance", "-iter", "10", "-imbalance", "1.0",
+             "-persistent-imbalance"]
+        )
+        assert app.graphs[0].kernel.persistent is True
+
+    def test_total_flops_differ_between_modes(self):
+        base = dict(timesteps=20, max_width=8,
+                    dependence=DependenceType.NEAREST)
+        gu = TaskGraph(kernel=imbalanced_kernel(False), **base)
+        gp = TaskGraph(kernel=imbalanced_kernel(True), **base)
+        assert gu.total_flops() != gp.total_flops()
+
+
+class TestSimulatedPhenomena:
+    MACHINE = MachineSpec(nodes=1, cores_per_node=8)
+
+    def _model(self, stealing):
+        return RuntimeModel(
+            name="x",
+            execution="async",
+            task_overhead_s=0.0,
+            dep_overhead_s=0.0,
+            send_overhead_s=0.0,
+            work_stealing=stealing,
+            steal_overhead_s=1e-7,
+        )
+
+    def _graphs(self, persistent):
+        return [
+            TaskGraph(
+                timesteps=20,
+                max_width=8,
+                dependence=DependenceType.NEAREST,
+                radix=5,
+                kernel=imbalanced_kernel(persistent, iterations=50000),
+                graph_index=k,
+            )
+            for k in range(4)
+        ]
+
+    def _efficiency(self, persistent, stealing):
+        gs = self._graphs(persistent)
+        result, _ = simulate_with_stats(
+            gs, self.MACHINE, self._model(stealing), IDEAL
+        )
+        return result.flops_per_second / self.MACHINE.peak_flops
+
+    def test_asynchrony_mitigates_uniform_better_than_persistent(self):
+        """Without stealing, async execution handles fresh-draw imbalance
+        (work averages over time) far better than persistent imbalance
+        (the slow column is always the bottleneck)."""
+        uniform = self._efficiency(persistent=False, stealing=False)
+        persistent = self._efficiency(persistent=True, stealing=False)
+        assert uniform > persistent * 1.15
+
+    def test_stealing_recovers_persistent_imbalance(self):
+        plain = self._efficiency(persistent=True, stealing=False)
+        stolen = self._efficiency(persistent=True, stealing=True)
+        assert stolen > plain * 1.1
+
+    def test_persistent_per_core_imbalance_is_structural(self):
+        """The per-core busy-time imbalance factor stays high without
+        stealing and collapses with it."""
+        gs = self._graphs(True)
+        _, plain = simulate_with_stats(gs, self.MACHINE, self._model(False), IDEAL)
+        _, stolen = simulate_with_stats(gs, self.MACHINE, self._model(True), IDEAL)
+        assert plain.imbalance_factor > 1.3
+        assert stolen.imbalance_factor < plain.imbalance_factor
+
+    def test_metg_workload_flag(self):
+        runner = SimRunner(self._model(False), self.MACHINE, IDEAL,
+                           scale_reserved=False)
+        wl = compute_workload(
+            runner.worker_width, steps=15,
+            dependence=DependenceType.NEAREST, radix=5, ngraphs=4,
+            kernel_type=KernelType.LOAD_IMBALANCE, imbalance=1.0,
+            persistent_imbalance=True,
+        )
+        m = measure(runner, wl, 50000)
+        assert 0.0 < m.efficiency < 0.9

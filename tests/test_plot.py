@@ -1,0 +1,98 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis import ascii_plot, sparkline
+from repro.analysis.figures import FigureData, Series
+
+
+def fig(series=None):
+    return FigureData(
+        "figT", "test figure", "size", "rate",
+        series or [
+            Series("up", [1.0, 10.0, 100.0], [1.0, 10.0, 100.0]),
+            Series("down", [1.0, 10.0, 100.0], [100.0, 10.0, 1.0]),
+        ],
+    )
+
+
+class TestAsciiPlot:
+    def test_contains_title_axes_legend(self):
+        text = ascii_plot(fig())
+        assert "figT" in text
+        assert "x: size (log)" in text
+        assert "legend:" in text
+        assert "o=up" in text and "x=down" in text
+
+    def test_dimensions(self):
+        text = ascii_plot(fig(), width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_rows)
+
+    def test_monotone_series_renders_diagonal(self):
+        text = ascii_plot(fig([Series("up", [1, 10, 100], [1, 10, 100])]),
+                          width=30, height=9)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        cols = [r.index("o") for r in rows if "o" in r]
+        # rows run top (high y, high x) to bottom (low y, low x), so the
+        # marker column decreases down the plot
+        assert cols == sorted(cols, reverse=True)
+
+    def test_overlap_marked(self):
+        a = Series("a", [1.0, 10.0], [5.0, 5.0])
+        b = Series("b", [1.0, 10.0], [5.0, 5.0])
+        text = ascii_plot(fig([a, b]), width=20, height=5)
+        assert "?" in text
+
+    def test_crossing_series_both_visible(self):
+        text = ascii_plot(fig(), width=40, height=12)
+        assert "o" in text and "x" in text
+
+    def test_log_axis_drops_nonpositive(self):
+        s = Series("z", [0.0, 1.0, 10.0], [0.0, 1.0, 10.0])
+        text = ascii_plot(fig([s]))
+        assert "1" in text  # the surviving range renders
+
+    def test_all_nonpositive_handled(self):
+        s = Series("z", [0.0], [0.0])
+        assert "no plottable points" in ascii_plot(fig([s]))
+
+    def test_linear_axes(self):
+        text = ascii_plot(fig(), logx=False, logy=False)
+        assert "(log)" not in text
+
+    def test_single_point(self):
+        text = ascii_plot(fig([Series("p", [5.0], [7.0])]), width=20, height=5)
+        assert "o" in text
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot(fig(), width=5, height=2)
+
+    def test_many_series_cycle_marks(self):
+        series = [Series(f"s{k}", [1.0, 2.0], [float(k + 1)] * 2)
+                  for k in range(15)]
+        text = ascii_plot(fig(series))
+        assert "legend:" in text
+
+
+class TestSparkline:
+    def test_renders_blocks(self):
+        s = Series("ramp", list(range(1, 21)), [float(v) for v in range(1, 21)])
+        line = sparkline(s)
+        assert line.startswith("ramp: [")
+        assert "@" in line  # the max renders as the densest block
+
+    def test_constant_series(self):
+        s = Series("flat", [1.0, 2.0], [5.0, 5.0])
+        assert "flat" in sparkline(s)
+
+    def test_empty_after_log_filter(self):
+        s = Series("zero", [1.0], [0.0])
+        assert "(empty)" in sparkline(s, logy=True)
+
+    def test_subsamples_long_series(self):
+        s = Series("long", list(range(1, 401)), [float(v) for v in range(1, 401)])
+        line = sparkline(s, width=40)
+        assert len(line) < 60

@@ -1,0 +1,153 @@
+"""Hypothesis property-based tests on core invariants.
+
+These generalize the exhaustive small-case checks in the unit tests to
+arbitrary graph shapes: dependence inversion, interval well-formedness,
+iteration-space consistency and validation round-trips.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.core.dependence import DependenceSpec, merge_intervals
+from repro.core.validation import expected_inputs, task_output
+
+dependence_types = st.sampled_from(list(DependenceType))
+
+specs = st.builds(
+    DependenceSpec,
+    dependence_types,
+    st.integers(min_value=1, max_value=24),  # width
+    st.integers(min_value=1, max_value=12),  # height
+    radix=st.integers(min_value=0, max_value=8),
+    period=st.sampled_from([-1, 1, 2, 3]),
+    fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+def all_points(s):
+    for t in range(s.height):
+        off = s.offset_at_timestep(t)
+        for i in range(off, off + s.width_at_timestep(t)):
+            yield t, i
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs)
+def test_intervals_well_formed(s):
+    """Dependence intervals are sorted, disjoint, non-empty, and in range."""
+    for t, i in all_points(s):
+        for intervals in (s.dependencies(t, i), s.reverse_dependencies(t, i)):
+            prev_hi = -2
+            for lo, hi in intervals:
+                assert lo <= hi
+                assert lo > prev_hi + 1  # disjoint and non-adjacent (merged)
+                assert 0 <= lo and hi < s.width
+                prev_hi = hi
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs)
+def test_forward_backward_are_inverse(s):
+    """j in deps(t, i)  <=>  i in rdeps(t-1, j), for every pattern/shape."""
+    fwd = {
+        (t, i, j)
+        for t, i in all_points(s)
+        for j in s.dependency_points(t, i)
+    }
+    bwd = {
+        (t + 1, i, j)
+        for t, j in all_points(s)
+        for i in s.reverse_dependency_points(t, j)
+    }
+    assert fwd == bwd
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs)
+def test_dependencies_land_on_existing_points(s):
+    for t, i in all_points(s):
+        for j in s.dependency_points(t, i):
+            assert s.contains_point(t - 1, j)
+        for j in s.reverse_dependency_points(t, i):
+            assert s.contains_point(t + 1, j)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs)
+def test_num_dependencies_below_bound(s):
+    bound = s.max_dependencies()
+    for t, i in all_points(s):
+        if t > 0:
+            assert s.num_dependencies(t, i) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs)
+def test_width_at_timestep_in_range(s):
+    for t in range(s.height):
+        w = s.width_at_timestep(t)
+        off = s.offset_at_timestep(t)
+        assert 1 <= w <= s.width
+        assert 0 <= off and off + w <= s.width
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=30))
+def test_merge_intervals_roundtrip(points):
+    merged = merge_intervals(points)
+    covered = [p for lo, hi in merged for p in range(lo, hi + 1)]
+    assert covered == sorted(set(points))
+
+
+graphs = st.builds(
+    TaskGraph,
+    timesteps=st.integers(min_value=1, max_value=8),
+    max_width=st.integers(min_value=1, max_value=12),
+    dependence=dependence_types,
+    radix=st.integers(min_value=0, max_value=5),
+    fraction_connected=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    output_bytes_per_task=st.sampled_from([0, 1, 8, 16, 40]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs)
+def test_execute_point_accepts_expected_inputs(g):
+    """For any graph, the canonical inputs always validate and execution
+    produces the canonical output."""
+    pts = list(g.points())[:20]
+    for t, i in pts:
+        out = g.execute_point(t, i, expected_inputs(g, t, i))
+        assert np.array_equal(out, task_output(g, t, i))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs)
+def test_totals_consistent_with_enumeration(g):
+    assert g.total_tasks() == len(list(g.points()))
+    assert g.total_dependencies() == sum(
+        g.num_dependencies(t, i) for t, i in g.points()
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_imbalance_multiplier_bounds(seed, iterations, imbalance):
+    k = Kernel(
+        kernel_type=KernelType.LOAD_IMBALANCE,
+        iterations=iterations,
+        imbalance=imbalance,
+    )
+    for t in range(5):
+        for i in range(5):
+            m = k.duration_multiplier(t, i, seed)
+            assert 1.0 - imbalance <= m <= 1.0 or np.isclose(m, 1.0 - imbalance)
+            assert 0 <= k.effective_iterations(t, i, seed) <= iterations

@@ -1,0 +1,81 @@
+"""Hypothesis property tests on real executors.
+
+For arbitrary graph configurations, every executor must produce a fully
+validated execution (the core library checks every input byte) with the
+correct totals.  Graph sizes are kept small; correctness, not speed, is
+the property.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.runtimes import make_executor
+
+FAST_RUNTIMES = ["serial", "threads", "actors", "dataflow", "ptg", "futures",
+                 "bulk_sync", "p2p", "centralized", "asyncio"]
+
+graphs = st.builds(
+    TaskGraph,
+    timesteps=st.integers(min_value=1, max_value=6),
+    max_width=st.integers(min_value=1, max_value=6),
+    dependence=st.sampled_from(list(DependenceType)),
+    radix=st.integers(min_value=0, max_value=4),
+    period=st.sampled_from([-1, 2]),
+    fraction_connected=st.sampled_from([0.0, 0.5, 1.0]),
+    kernel=st.builds(
+        Kernel,
+        kernel_type=st.sampled_from(
+            [KernelType.EMPTY, KernelType.COMPUTE_BOUND]
+        ),
+        iterations=st.integers(min_value=0, max_value=4),
+    ),
+    output_bytes_per_task=st.sampled_from([0, 8, 40]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+runtime_names = st.sampled_from(FAST_RUNTIMES)
+worker_counts = st.integers(min_value=1, max_value=4)
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graphs, runtime_names, worker_counts)
+def test_any_graph_validates_on_any_executor(g, runtime, workers):
+    r = make_executor(runtime, workers=workers).run([g])
+    assert r.total_tasks == g.total_tasks()
+    assert r.total_dependencies == g.total_dependencies()
+    assert r.validated
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(graphs, min_size=2, max_size=3), runtime_names)
+def test_concurrent_graphs_validate(graph_list, runtime):
+    graph_list = [g.with_(graph_index=k) for k, g in enumerate(graph_list)]
+    r = make_executor(runtime, workers=2).run(graph_list)
+    assert r.total_tasks == sum(g.total_tasks() for g in graph_list)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graphs)
+def test_executors_agree_on_work_accounting(g):
+    """Totals in the result derive from the graph alone, so every executor
+    reports identical accounting for the same graph."""
+    results = [
+        make_executor(name, workers=2).run([g])
+        for name in ("serial", "actors", "futures")
+    ]
+    assert len({r.total_tasks for r in results}) == 1
+    assert len({r.total_flops for r in results}) == 1
+    assert len({r.total_dependencies for r in results}) == 1

@@ -1,0 +1,119 @@
+"""Hypothesis property tests on the simulator engines.
+
+Invariants that must hold for *any* graph/machine/model combination:
+lower bounds from work conservation, upper bounds from serialization,
+monotonicity in overheads, and agreement between the engines where their
+semantics coincide.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.sim import IDEAL, MachineSpec, RuntimeModel, simulate, simulate_with_stats
+
+machines = st.builds(
+    MachineSpec,
+    nodes=st.integers(min_value=1, max_value=4),
+    cores_per_node=st.integers(min_value=1, max_value=6),
+)
+
+graphs = st.builds(
+    TaskGraph,
+    timesteps=st.integers(min_value=1, max_value=8),
+    max_width=st.integers(min_value=1, max_value=10),
+    dependence=st.sampled_from(
+        [
+            DependenceType.TRIVIAL,
+            DependenceType.NO_COMM,
+            DependenceType.STENCIL_1D,
+            DependenceType.NEAREST,
+            DependenceType.FFT,
+            DependenceType.TREE,
+        ]
+    ),
+    radix=st.integers(min_value=0, max_value=4),
+    kernel=st.builds(
+        Kernel,
+        kernel_type=st.just(KernelType.COMPUTE_BOUND),
+        iterations=st.integers(min_value=0, max_value=5000),
+    ),
+    output_bytes_per_task=st.sampled_from([0, 16, 1024]),
+)
+
+executions = st.sampled_from(["phased", "async"])
+
+overheads = st.floats(min_value=0.0, max_value=1e-4, allow_nan=False)
+
+
+def model(execution, task_oh=0.0, dep_oh=0.0):
+    return RuntimeModel(
+        name="prop",
+        execution=execution,
+        task_overhead_s=task_oh,
+        dep_overhead_s=dep_oh,
+        send_overhead_s=0.0,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, machines, executions, overheads)
+def test_elapsed_bounded_by_work(g, machine, execution, task_oh):
+    """Work conservation: serial-total/cores <= elapsed <= serial-total +
+    per-task costs (on an ideal network)."""
+    m = model(execution, task_oh=task_oh)
+    result, stats = simulate_with_stats([g], machine, m, IDEAL)
+    total_work = sum(stats.core_busy_seconds)
+    workers = len(stats.core_busy_seconds)
+    assert result.elapsed_seconds >= total_work / workers - 1e-12
+    assert result.elapsed_seconds <= total_work + 1e-12 or total_work == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, machines, executions)
+def test_busy_time_equals_modeled_cost(g, machine, execution):
+    """Every task's kernel time is accounted exactly once."""
+    m = model(execution)
+    _, stats = simulate_with_stats([g], machine, m, IDEAL)
+    ktime = machine.kernel_time_model(machine.cores_per_node)
+    expected = sum(
+        ktime.task_seconds(g.kernel, t, i, g.seed) for t, i in g.points()
+    )
+    assert sum(stats.core_busy_seconds) == pytest.approx(expected, rel=1e-9, abs=1e-15)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs, machines, executions, overheads)
+def test_monotone_in_task_overhead(g, machine, execution, task_oh):
+    fast = simulate([g], machine, model(execution), IDEAL)
+    slow = simulate([g], machine, model(execution, task_oh=task_oh), IDEAL)
+    assert slow.elapsed_seconds >= fast.elapsed_seconds - 1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs, machines)
+def test_engines_agree_on_dependency_free_graphs(g, machine):
+    """With no cross-task constraints and no overheads, both engines reduce
+    to balanced work division."""
+    g = g.with_(dependence=DependenceType.NO_COMM)
+    phased = simulate([g], machine, model("phased"), IDEAL)
+    asynch = simulate([g], machine, model("async"), IDEAL)
+    assert phased.elapsed_seconds == pytest.approx(
+        asynch.elapsed_seconds, rel=1e-9, abs=1e-15
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs, machines, executions)
+def test_task_counts_complete(g, machine, execution):
+    _, stats = simulate_with_stats([g], machine, model(execution), IDEAL)
+    assert sum(stats.tasks_per_core) == g.total_tasks()
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs, machines, executions)
+def test_deterministic(g, machine, execution):
+    a = simulate([g], machine, model(execution), IDEAL)
+    b = simulate([g], machine, model(execution), IDEAL)
+    assert a.elapsed_seconds == b.elapsed_seconds

@@ -1,0 +1,143 @@
+"""Unit tests for PTG graph expansion and p2p messaging components."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DependenceType, TaskGraph
+from repro.runtimes import ExpandedGraph, Mailbox, block_owner, expand
+from repro.runtimes.p2p import _ExecutionFailure
+
+
+def graphs():
+    return [
+        TaskGraph(timesteps=4, max_width=4,
+                  dependence=DependenceType.STENCIL_1D, graph_index=0),
+        TaskGraph(timesteps=3, max_width=2,
+                  dependence=DependenceType.NO_COMM, graph_index=1),
+    ]
+
+
+class TestExpand:
+    def test_task_count(self):
+        dag = expand(graphs())
+        assert dag.num_tasks == 16 + 6
+
+    def test_edge_count_matches_graphs(self):
+        gs = graphs()
+        dag = expand(gs)
+        assert dag.num_edges == sum(g.total_dependencies() for g in gs)
+
+    def test_dep_counts_match(self):
+        gs = graphs()
+        dag = expand(gs)
+        for k in range(dag.num_tasks):
+            gi, t, i = (int(x) for x in dag.task_table[k])
+            assert dag.dep_counts[k] == gs[gi].num_dependencies(t, i)
+
+    def test_successors_point_to_next_timestep(self):
+        dag = expand(graphs())
+        for k in range(dag.num_tasks):
+            _, t, _ = (int(x) for x in dag.task_table[k])
+            for succ in dag.successors(k):
+                _, t2, _ = (int(x) for x in dag.task_table[int(succ)])
+                assert t2 == t + 1
+
+    def test_roots_have_zero_deps(self):
+        dag = expand(graphs())
+        roots = np.flatnonzero(dag.dep_counts == 0)
+        assert len(roots) == 4 + 2  # first timestep of both graphs
+
+    def test_trivial_graph_no_edges(self):
+        g = TaskGraph(timesteps=3, max_width=3)
+        dag = expand([g])
+        assert dag.num_edges == 0
+        assert isinstance(dag, ExpandedGraph)
+
+
+class TestBlockOwner:
+    def test_even_partition(self):
+        owners = [block_owner(i, 8, 4) for i in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_single_rank(self):
+        assert all(block_owner(i, 5, 1) == 0 for i in range(5))
+
+    def test_more_ranks_than_columns(self):
+        owners = [block_owner(i, 2, 8) for i in range(2)]
+        assert owners == [0, 4]  # spread across ranks, within bounds
+
+    def test_owner_in_range(self):
+        for width in (1, 3, 7, 16):
+            for ranks in (1, 2, 5, 32):
+                for i in range(width):
+                    assert 0 <= block_owner(i, width, ranks) < ranks
+
+    def test_monotone(self):
+        owners = [block_owner(i, 13, 4) for i in range(13)]
+        assert owners == sorted(owners)
+
+
+class TestMailbox:
+    def test_post_then_recv(self):
+        mb = Mailbox(_ExecutionFailure())
+        buf = np.arange(3, dtype=np.uint8)
+        mb.post((0, 0, 0), buf, consumers=1)
+        assert np.array_equal(mb.recv((0, 0, 0)), buf)
+        assert len(mb) == 0
+
+    def test_refcounted_delivery(self):
+        mb = Mailbox(_ExecutionFailure())
+        mb.post((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=3)
+        mb.recv((0, 0, 0))
+        mb.recv((0, 0, 0))
+        assert len(mb) == 1
+        mb.recv((0, 0, 0))
+        assert len(mb) == 0
+
+    def test_duplicate_post_rejected(self):
+        mb = Mailbox(_ExecutionFailure())
+        mb.post((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=1)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            mb.post((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=1)
+
+    def test_recv_blocks_until_post(self):
+        mb = Mailbox(_ExecutionFailure())
+        got = []
+
+        def receiver():
+            got.append(mb.recv((0, 1, 2)))
+
+        th = threading.Thread(target=receiver)
+        th.start()
+        mb.post((0, 1, 2), np.full(2, 7, dtype=np.uint8), consumers=1)
+        th.join(timeout=5)
+        assert not th.is_alive()
+        assert np.all(got[0] == 7)
+
+    def test_failure_releases_blocked_recv(self):
+        failure = _ExecutionFailure()
+        mb = Mailbox(failure)
+        errors = []
+
+        def receiver():
+            try:
+                mb.recv((9, 9, 9))
+            except RuntimeError as e:
+                errors.append(e)
+
+        th = threading.Thread(target=receiver)
+        th.start()
+        failure.set(RuntimeError("rank died"))
+        mb.wake()
+        th.join(timeout=5)
+        assert not th.is_alive()
+        assert errors and "rank died" in str(errors[0])
+
+    def test_failure_first_error_wins(self):
+        f = _ExecutionFailure()
+        f.set(RuntimeError("first"))
+        f.set(RuntimeError("second"))
+        with pytest.raises(RuntimeError, match="first"):
+            f.check()

@@ -1,0 +1,154 @@
+"""Unit tests for shared runtime machinery (OutputStore, ScratchPool, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DependenceType, TaskGraph
+from repro.runtimes._common import (
+    OutputStore,
+    ScratchPool,
+    consumer_count,
+    run_point,
+    task_keys,
+)
+
+
+def graphs2():
+    return [
+        TaskGraph(timesteps=4, max_width=3,
+                  dependence=DependenceType.STENCIL_1D, graph_index=0),
+        TaskGraph(timesteps=2, max_width=2,
+                  dependence=DependenceType.TRIVIAL, graph_index=1),
+    ]
+
+
+class TestTaskKeys:
+    def test_covers_all_tasks(self):
+        gs = graphs2()
+        keys = list(task_keys(gs))
+        assert len(keys) == sum(g.total_tasks() for g in gs)
+        assert len(set(keys)) == len(keys)
+
+    def test_timestep_major_order(self):
+        keys = list(task_keys(graphs2()))
+        ts = [t for _, t, _ in keys]
+        assert ts == sorted(ts)
+
+    def test_interleaves_graphs_within_timestep(self):
+        keys = list(task_keys(graphs2()))
+        t0 = [(gi, i) for gi, t, i in keys if t == 0]
+        assert t0 == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
+
+    def test_shorter_graph_ends_early(self):
+        keys = list(task_keys(graphs2()))
+        assert all(gi == 0 for gi, t, _ in keys if t >= 2)
+
+    def test_tree_skips_inactive_points(self):
+        g = TaskGraph(timesteps=3, max_width=4, dependence=DependenceType.TREE)
+        keys = list(task_keys([g]))
+        assert (0, 0, 0) in keys and (0, 0, 1) not in keys
+
+
+class TestConsumerCount:
+    def test_stencil_interior(self):
+        g = graphs2()[0]
+        assert consumer_count(g, 1, 1) == 3
+
+    def test_last_timestep_zero(self):
+        g = graphs2()[0]
+        assert consumer_count(g, 3, 1) == 0
+
+    def test_trivial_zero(self):
+        g = graphs2()[1]
+        assert consumer_count(g, 0, 0) == 0
+
+
+class TestOutputStore:
+    def test_put_take_roundtrip(self):
+        s = OutputStore()
+        buf = np.arange(4, dtype=np.uint8)
+        s.put((0, 0, 0), buf, consumers=2)
+        assert np.array_equal(s.take((0, 0, 0)), buf)
+        assert len(s) == 1  # one consumer left
+        s.take((0, 0, 0))
+        assert len(s) == 0
+
+    def test_zero_consumers_not_stored(self):
+        s = OutputStore()
+        s.put((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=0)
+        assert len(s) == 0
+
+    def test_double_put_rejected(self):
+        s = OutputStore()
+        s.put((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=1)
+        with pytest.raises(RuntimeError, match="twice"):
+            s.put((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=1)
+
+    def test_take_missing_rejected(self):
+        s = OutputStore()
+        with pytest.raises(RuntimeError, match="not produced"):
+            s.take((0, 9, 9))
+
+    def test_over_take_rejected(self):
+        s = OutputStore()
+        s.put((0, 0, 0), np.zeros(1, dtype=np.uint8), consumers=1)
+        s.take((0, 0, 0))
+        with pytest.raises(RuntimeError):
+            s.take((0, 0, 0))
+
+    def test_assert_drained_passes_when_empty(self):
+        OutputStore().assert_drained()
+
+    def test_assert_drained_detects_leak(self):
+        s = OutputStore()
+        s.put((0, 1, 2), np.zeros(1, dtype=np.uint8), consumers=1)
+        with pytest.raises(RuntimeError, match="never consumed"):
+            s.assert_drained()
+
+    def test_gather_canonical_order(self):
+        g = graphs2()[0]
+        s = OutputStore()
+        from repro.core.validation import task_output
+
+        for i in range(3):
+            s.put((0, 0, i), task_output(g, 0, i), consumers=consumer_count(g, 0, i))
+        inputs = s.gather(g, 1, 1)
+        assert len(inputs) == 3
+        # canonical order means validation passes
+        g.execute_point(1, 1, inputs)
+
+    def test_gather_t0_empty(self):
+        g = graphs2()[0]
+        assert OutputStore().gather(g, 0, 1) == []
+
+
+class TestScratchPool:
+    def test_no_scratch_returns_none(self):
+        g = graphs2()[0]
+        pool = ScratchPool([g])
+        assert pool.get(0, 0) is None
+
+    def test_allocates_per_column(self):
+        g = graphs2()[0].with_(scratch_bytes_per_task=32)
+        pool = ScratchPool([g])
+        a, b = pool.get(0, 0), pool.get(0, 1)
+        assert a is not b
+        assert a.nbytes == 32
+
+    def test_reuses_buffer_across_calls(self):
+        g = graphs2()[0].with_(scratch_bytes_per_task=32)
+        pool = ScratchPool([g])
+        assert pool.get(0, 0) is pool.get(0, 0)
+
+
+class TestRunPoint:
+    def test_executes_and_publishes(self):
+        g = graphs2()[0]
+        s = OutputStore()
+        pool = ScratchPool([g])
+        for i in range(3):
+            run_point(s, pool, g, 0, i, validate=True)
+        run_point(s, pool, g, 1, 1, validate=True)
+        # (1,1) consumed one ref from each t=0 output but all three still
+        # have other consumers pending, plus (1,1)'s own output: 4 entries.
+        assert len(s) == 4

@@ -1,0 +1,131 @@
+"""Tests for named application scenarios."""
+
+import pytest
+
+from repro.core import DependenceType, KernelType
+from repro.core.scenarios import (
+    SCENARIOS,
+    amr_load_imbalance,
+    divide_and_conquer,
+    embarrassingly_parallel,
+    fft,
+    get_scenario,
+    halo_exchange,
+    multiphysics,
+    radiation_sweep,
+    unstructured_mesh,
+)
+from repro.runtimes import make_executor
+
+
+class TestRegistry:
+    def test_all_scenarios_registered(self):
+        assert set(SCENARIOS) == {
+            "halo_exchange", "radiation_sweep", "fft", "divide_and_conquer",
+            "embarrassingly_parallel", "unstructured_mesh", "multiphysics",
+            "amr_load_imbalance",
+        }
+
+    def test_get_scenario(self):
+        s = get_scenario("fft")
+        assert s.name == "fft"
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("blockchain")
+
+    def test_scenarios_have_descriptions(self):
+        for s in SCENARIOS.values():
+            assert s.description
+
+    def test_scenario_callable(self):
+        graphs = SCENARIOS["halo_exchange"](width=4, steps=5)
+        assert graphs[0].max_width == 4
+
+    def test_default_builds_are_valid(self):
+        for name, s in SCENARIOS.items():
+            graphs = s()
+            assert graphs, name
+            assert all(g.total_tasks() > 0 for g in graphs), name
+            assert [g.graph_index for g in graphs] == list(range(len(graphs)))
+
+
+class TestShapes:
+    def test_halo_exchange_is_stencil(self):
+        (g,) = halo_exchange()
+        assert g.dependence is DependenceType.STENCIL_1D
+
+    def test_halo_exchange_periodic(self):
+        (g,) = halo_exchange(periodic=True)
+        assert g.dependence is DependenceType.STENCIL_1D_PERIODIC
+
+    def test_radiation_sweep_directions(self):
+        graphs = radiation_sweep(directions=4)
+        assert len(graphs) == 4
+        assert all(g.dependence is DependenceType.DOM for g in graphs)
+
+    def test_fft_auto_depth(self):
+        (g,) = fft(width=16)
+        assert g.timesteps == 5  # log2(16) stages + initial row
+        assert g.dependence is DependenceType.FFT
+
+    def test_fft_width_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            fft(width=1)
+
+    def test_divide_and_conquer_reaches_full_width(self):
+        (g,) = divide_and_conquer(width=8)
+        assert g.width_at_timestep(g.timesteps - 1) == 8
+        assert g.width_at_timestep(0) == 1
+
+    def test_embarrassingly_parallel_no_deps(self):
+        (g,) = embarrassingly_parallel(width=8, steps=3)
+        assert g.total_dependencies() == 0
+
+    def test_unstructured_mesh_fixed_over_time(self):
+        """A mesh does not change between timesteps: the random neighbour
+        sets repeat."""
+        (g,) = unstructured_mesh(width=16, steps=10)
+        for i in range(16):
+            assert g.dependencies(2, i) == g.dependencies(7, i)
+
+    def test_unstructured_mesh_deterministic_by_seed(self):
+        a = unstructured_mesh(seed=1)[0]
+        b = unstructured_mesh(seed=1)[0]
+        c = unstructured_mesh(seed=2)[0]
+        assert a.dependencies(1, 5) == b.dependencies(1, 5)
+        assert any(a.dependencies(1, i) != c.dependencies(1, i) for i in range(32))
+
+    def test_multiphysics_heterogeneous(self):
+        graphs = multiphysics()
+        assert {g.dependence for g in graphs} == {
+            DependenceType.STENCIL_1D, DependenceType.DOM, DependenceType.FFT
+        }
+
+    def test_amr_persistent_imbalance(self):
+        graphs = amr_load_imbalance()
+        assert len(graphs) == 4  # over-decomposed into patches
+        g = graphs[0]
+        assert g.kernel.kernel_type is KernelType.LOAD_IMBALANCE
+        assert g.kernel.persistent is True
+        # patches draw distinct refinement (imbalance) patterns
+        assert graphs[0].seed != graphs[1].seed
+
+    def test_amr_patches_validation(self):
+        with pytest.raises(ValueError, match="patches"):
+            amr_load_imbalance(patches=0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_runs_validated(self, name):
+        graphs = SCENARIOS[name](width=4, steps=4, iterations=1)
+        r = make_executor("threads", workers=2).run(graphs)
+        assert r.total_tasks == sum(g.total_tasks() for g in graphs)
+
+    def test_scenarios_simulate(self):
+        from repro.sim import ARIES, MachineSpec, get_system, simulate
+
+        machine = MachineSpec(nodes=2, cores_per_node=4)
+        for name in sorted(SCENARIOS):
+            graphs = SCENARIOS[name](width=8, steps=5, iterations=10)
+            r = simulate(graphs, machine, get_system("mpi_p2p"), ARIES)
+            assert r.elapsed_seconds > 0, name

@@ -1,0 +1,130 @@
+"""Unit tests for machine and network models."""
+
+import pytest
+
+from repro.core import Kernel, KernelType
+from repro.sim import ARIES, CORI_HASWELL, IDEAL, MachineSpec, NetworkModel, column_to_core
+
+
+class TestMachineSpec:
+    def test_cori_matches_paper_peak(self):
+        """Paper §5.1: measured peak 1.26 TFLOP/s per 32-core Haswell node."""
+        assert CORI_HASWELL.cores_per_node == 32
+        assert CORI_HASWELL.peak_flops == pytest.approx(1.26e12, rel=0.01)
+
+    def test_cori_memory_peak(self):
+        """Paper §5.2: measured 79 GB/s per node."""
+        assert CORI_HASWELL.peak_bytes_per_second == pytest.approx(79e9)
+
+    def test_total_cores(self):
+        assert MachineSpec(nodes=4, cores_per_node=8).total_cores == 32
+
+    def test_with_nodes(self):
+        m = CORI_HASWELL.with_nodes(64)
+        assert m.nodes == 64 and m.cores_per_node == 32
+        assert m.peak_flops == pytest.approx(64 * 1.26e12, rel=0.01)
+
+    def test_node_of_core(self):
+        m = MachineSpec(nodes=3, cores_per_node=4)
+        assert m.node_of_core(0) == 0
+        assert m.node_of_core(7) == 1
+        assert m.node_of_core(11) == 2
+        with pytest.raises(IndexError):
+            m.node_of_core(12)
+
+    def test_kernel_seconds_linear_in_iterations(self):
+        m = CORI_HASWELL
+        k1 = Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=1000)
+        k2 = Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=2000)
+        assert m.kernel_seconds(k2) == pytest.approx(2 * m.kernel_seconds(k1))
+
+    def test_kernel_rate_matches_core_peak(self):
+        m = CORI_HASWELL
+        k = Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=10000)
+        flops = k.flops_per_task()
+        assert flops / m.kernel_seconds(k) == pytest.approx(m.flops_per_core)
+
+    def test_memory_kernel_shares_bandwidth(self):
+        m = CORI_HASWELL
+        k = Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=10, span_bytes=4096)
+        tm_full = m.kernel_time_model(32)
+        tm_one = m.kernel_time_model(1)
+        # one core alone gets the whole node bandwidth; 32 cores share it
+        # up to the saturation count
+        assert tm_one.task_seconds(k) < tm_full.task_seconds(k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(nodes=0)
+        with pytest.raises(ValueError):
+            MachineSpec(cores_per_node=0)
+        with pytest.raises(ValueError):
+            MachineSpec(flops_per_core=0)
+
+
+class TestColumnToCore:
+    def test_identity_when_width_equals_cores(self):
+        for i in range(8):
+            assert column_to_core(i, 8, 8) == i
+
+    def test_block_mapping_when_oversubscribed(self):
+        cores = [column_to_core(i, 8, 4) for i in range(8)]
+        assert cores == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_contiguity(self):
+        """Block mapping: consecutive columns map to non-decreasing cores."""
+        cores = [column_to_core(i, 13, 5) for i in range(13)]
+        assert cores == sorted(cores)
+        assert set(cores) == set(range(5))
+
+    def test_underscribed_leaves_cores_idle(self):
+        assert column_to_core(2, 3, 8) == 2
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            column_to_core(8, 8, 8)
+        with pytest.raises(ValueError):
+            column_to_core(0, 0, 8)
+
+
+class TestNetworkModel:
+    def test_latency_grows_with_nodes(self):
+        assert ARIES.latency_seconds(256) > ARIES.latency_seconds(16) > ARIES.latency_seconds(1)
+
+    def test_single_node_is_base(self):
+        assert ARIES.latency_seconds(1) == ARIES.base_latency_s
+
+    def test_order_of_magnitude_rise_at_scale(self):
+        """§5.4: smallest-METG systems see ~10x METG growth by 256 nodes;
+        the latency model must supply that order of magnitude."""
+        ratio = ARIES.latency_seconds(256) / ARIES.latency_seconds(1)
+        assert 5 < ratio < 50
+
+    def test_message_time_includes_bandwidth(self):
+        small = ARIES.message_seconds(16, same_node=False, nodes=4)
+        large = ARIES.message_seconds(1 << 20, same_node=False, nodes=4)
+        assert large > small
+        assert large - small == pytest.approx((1 << 20) / ARIES.bandwidth_bytes_per_s, rel=0.01)
+
+    def test_intra_node_cheaper(self):
+        intra = ARIES.message_seconds(1024, same_node=True, nodes=64)
+        inter = ARIES.message_seconds(1024, same_node=False, nodes=64)
+        assert intra < inter
+
+    def test_ideal_network_is_free(self):
+        assert IDEAL.message_seconds(1 << 30, same_node=False, nodes=256) < 1e-15
+
+    def test_zero_bytes_ok(self):
+        assert ARIES.message_seconds(0, same_node=False, nodes=2) == pytest.approx(
+            ARIES.latency_seconds(2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(base_latency_s=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            ARIES.message_seconds(-1, same_node=False)
+        with pytest.raises(ValueError):
+            ARIES.latency_seconds(0)

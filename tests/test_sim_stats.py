@@ -1,0 +1,115 @@
+"""Tests for simulator statistics collection."""
+
+import pytest
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.sim import (
+    ARIES,
+    IDEAL,
+    MachineSpec,
+    RuntimeModel,
+    SimStats,
+    simulate_with_stats,
+)
+
+M4 = MachineSpec(nodes=1, cores_per_node=4)
+M2x4 = MachineSpec(nodes=2, cores_per_node=4)
+
+
+def graph(pattern=DependenceType.STENCIL_1D, width=4, steps=10, iters=1000,
+          imbalance=0.0, gi=0):
+    ktype = KernelType.LOAD_IMBALANCE if imbalance else KernelType.COMPUTE_BOUND
+    return TaskGraph(
+        timesteps=steps, max_width=width, dependence=pattern,
+        kernel=Kernel(kernel_type=ktype, iterations=iters, imbalance=imbalance),
+        output_bytes_per_task=64, graph_index=gi,
+    )
+
+
+def model(execution="async", **kw):
+    base = dict(name="m", execution=execution, task_overhead_s=0.0,
+                dep_overhead_s=0.0, send_overhead_s=0.0)
+    base.update(kw)
+    return RuntimeModel(**base)
+
+
+@pytest.mark.parametrize("execution", ["phased", "async"])
+class TestCommonStats:
+    def test_task_counts_cover_graph(self, execution):
+        g = graph()
+        _, stats = simulate_with_stats([g], M4, model(execution), IDEAL)
+        assert sum(stats.tasks_per_core) == g.total_tasks()
+
+    def test_balanced_graph_balanced_cores(self, execution):
+        g = graph()
+        _, stats = simulate_with_stats([g], M4, model(execution), IDEAL)
+        assert stats.imbalance_factor == pytest.approx(1.0, abs=0.01)
+
+    def test_utilization_near_one_when_compute_bound(self, execution):
+        g = graph(iters=100000)
+        _, stats = simulate_with_stats([g], M4, model(execution), IDEAL)
+        assert stats.utilization == pytest.approx(1.0, rel=0.02)
+
+    def test_utilization_low_when_latency_bound(self, execution):
+        g = graph(width=8, steps=30, iters=10)
+        _, stats = simulate_with_stats([g], M2x4, model(execution), ARIES)
+        assert stats.utilization < 0.5
+
+    def test_message_locality_split(self, execution):
+        g = graph(width=8, steps=10)
+        _, stats = simulate_with_stats([g], M2x4, model(execution), ARIES)
+        # stencil on 2 nodes: most neighbour messages are intra-node, the
+        # node boundary produces cross-node ones
+        assert stats.messages_intra_node > stats.messages_cross_node > 0
+
+    def test_cross_node_bytes_accounted(self, execution):
+        g = graph(width=8, steps=10)
+        _, stats = simulate_with_stats([g], M2x4, model(execution), ARIES)
+        assert stats.bytes_cross_node == 64 * stats.messages_cross_node
+
+    def test_no_comm_has_no_messages(self, execution):
+        g = graph(pattern=DependenceType.NO_COMM, width=8)
+        _, stats = simulate_with_stats([g], M2x4, model(execution), ARIES)
+        assert stats.messages_intra_node == stats.messages_cross_node == 0
+
+    def test_elapsed_recorded(self, execution):
+        g = graph()
+        result, stats = simulate_with_stats([g], M4, model(execution), IDEAL)
+        assert stats.elapsed_seconds == result.elapsed_seconds > 0
+
+
+class TestStealStats:
+    def test_steals_zero_without_stealing(self):
+        g = graph()
+        _, stats = simulate_with_stats([g], M4, model("async"), IDEAL)
+        assert stats.steals == 0
+
+    def test_steals_happen_under_imbalance(self):
+        gs = [graph(imbalance=1.0, iters=50000, gi=k, steps=10,
+                    pattern=DependenceType.NEAREST) for k in range(4)]
+        stealing = model("async", work_stealing=True, steal_overhead_s=1e-7)
+        _, stats = simulate_with_stats(gs, M4, stealing, IDEAL)
+        assert stats.steals > 0
+
+    def test_stealing_reduces_imbalance_factor(self):
+        gs = [graph(imbalance=1.0, iters=50000, gi=k, steps=10,
+                    pattern=DependenceType.NEAREST) for k in range(4)]
+        _, plain = simulate_with_stats(gs, M4, model("async"), IDEAL)
+        stealing = model("async", work_stealing=True, steal_overhead_s=1e-7)
+        _, stolen = simulate_with_stats(gs, M4, stealing, IDEAL)
+        assert stolen.imbalance_factor < plain.imbalance_factor
+
+
+class TestStatsEdgeCases:
+    def test_empty_stats_defaults(self):
+        s = SimStats(4)
+        assert s.utilization == 0.0
+        assert s.imbalance_factor == 1.0
+
+    def test_record_message(self):
+        s = SimStats(1)
+        s.record_message(100, same_node=True)
+        s.record_message(200, same_node=False)
+        assert s.messages_intra_node == 1
+        assert s.messages_cross_node == 1
+        assert s.bytes_cross_node == 200

@@ -1,0 +1,303 @@
+"""Tests for the discrete-event simulator substrate.
+
+Beyond unit behaviour, these check the *phenomena* the paper's evaluation
+rests on: overhead-dominated vs kernel-dominated regimes, communication
+overlap in asynchronous models, barrier costs, controller throughput caps,
+dynamic-check scaling, and work stealing under load imbalance.
+"""
+
+import pytest
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.sim import (
+    ARIES,
+    IDEAL,
+    MachineSpec,
+    RuntimeModel,
+    all_systems,
+    get_system,
+    scaled_for,
+    simulate,
+)
+
+M4 = MachineSpec(nodes=1, cores_per_node=4)
+M4x4 = MachineSpec(nodes=4, cores_per_node=4)
+
+
+def graph(iters=1000, width=4, steps=20, pattern=DependenceType.STENCIL_1D,
+          radix=3, gi=0, output=16, imbalance=0.0):
+    ktype = KernelType.LOAD_IMBALANCE if imbalance else KernelType.COMPUTE_BOUND
+    return TaskGraph(
+        timesteps=steps,
+        max_width=width,
+        dependence=pattern,
+        radix=radix,
+        kernel=Kernel(kernel_type=ktype, iterations=iters, imbalance=imbalance),
+        output_bytes_per_task=output,
+        graph_index=gi,
+    )
+
+
+def free_model(execution="async", **kw):
+    """A runtime model with zero overheads (engine-behaviour isolation)."""
+    base = dict(
+        name="free",
+        execution=execution,
+        task_overhead_s=0.0,
+        dep_overhead_s=0.0,
+        send_overhead_s=0.0,
+    )
+    base.update(kw)
+    return RuntimeModel(**base)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_perfect_machine_matches_ideal_time(self, execution):
+        """With zero overheads and a free network, wall time is exactly
+        (tasks per core) x (kernel time)."""
+        g = graph(iters=1000, width=4, steps=10)
+        r = simulate([g], M4, free_model(execution), IDEAL)
+        ideal = 10 * M4.kernel_seconds(g.kernel)
+        assert r.elapsed_seconds == pytest.approx(ideal, rel=1e-9)
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_efficiency_100_percent_on_perfect_machine(self, execution):
+        g = graph(iters=1000)
+        r = simulate([g], M4, free_model(execution), IDEAL)
+        assert r.flops_per_second / M4.peak_flops == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_overhead_reduces_efficiency(self, execution):
+        g = graph(iters=100)
+        free = simulate([g], M4, free_model(execution), IDEAL)
+        slow = simulate(
+            [g], M4, free_model(execution, task_overhead_s=10e-6), IDEAL
+        )
+        assert slow.elapsed_seconds > free.elapsed_seconds
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_task_overhead_additive(self, execution):
+        """10 us of per-task overhead on every one of 20 timesteps."""
+        g = graph(iters=1000, steps=20)
+        free = simulate([g], M4, free_model(execution), IDEAL)
+        slow = simulate([g], M4, free_model(execution, task_overhead_s=10e-6), IDEAL)
+        assert slow.elapsed_seconds - free.elapsed_seconds == pytest.approx(
+            20 * 10e-6, rel=0.01
+        )
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_wider_than_cores_graph(self, execution):
+        g = graph(width=10)
+        r = simulate([g], M4, free_model(execution), IDEAL)
+        ideal = 20 * 3 * M4.kernel_seconds(g.kernel)  # 3 columns on busiest core
+        assert r.elapsed_seconds >= ideal * 0.99
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    @pytest.mark.parametrize("pattern", list(DependenceType))
+    def test_all_patterns_complete(self, execution, pattern):
+        g = graph(pattern=pattern, width=5, steps=6)
+        r = simulate([g], M4x4, free_model(execution), ARIES)
+        assert r.elapsed_seconds > 0
+
+    def test_multiple_graphs(self):
+        gs = [graph(gi=0), graph(gi=1, pattern=DependenceType.FFT)]
+        r = simulate(gs, M4, free_model(), IDEAL)
+        assert r.total_tasks == sum(g.total_tasks() for g in gs)
+
+    def test_empty_graph_list_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([], M4, free_model(), IDEAL)
+
+    def test_single_node_system_rejects_multinode(self):
+        with pytest.raises(ValueError, match="single-node"):
+            simulate([graph()], M4x4, get_system("openmp_task"), ARIES)
+
+    def test_result_uses_machine_cores(self):
+        r = simulate([graph()], M4x4, free_model(), IDEAL)
+        assert r.cores == 16
+
+
+class TestCommunication:
+    def test_network_latency_slows_cross_node_patterns(self):
+        g = graph(iters=10, width=16, steps=30)
+        fast = simulate([g], M4x4, free_model("phased"), IDEAL)
+        slow = simulate([g], M4x4, free_model("phased"), ARIES)
+        assert slow.elapsed_seconds > fast.elapsed_seconds
+
+    def test_payload_size_matters_on_real_network(self):
+        small = graph(iters=10, width=16, steps=30, output=16)
+        big = graph(iters=10, width=16, steps=30, output=1 << 20)
+        r_small = simulate([small], M4x4, free_model("phased"), ARIES)
+        r_big = simulate([big], M4x4, free_model("phased"), ARIES)
+        assert r_big.elapsed_seconds > r_small.elapsed_seconds
+
+    def test_no_comm_pattern_ignores_network(self):
+        g = graph(iters=10, width=16, steps=30, pattern=DependenceType.NO_COMM)
+        fast = simulate([g], M4x4, free_model("phased"), IDEAL)
+        slow = simulate([g], M4x4, free_model("phased"), ARIES)
+        assert slow.elapsed_seconds == pytest.approx(fast.elapsed_seconds)
+
+    def test_async_overlaps_communication_with_task_parallelism(self):
+        """Paper §5.6: asynchronous systems hide communication when several
+        graphs provide task parallelism; phased systems cannot."""
+        gs = [
+            graph(iters=300, width=16, steps=20, gi=k,
+                  pattern=DependenceType.SPREAD, radix=5, output=4096)
+            for k in range(4)
+        ]
+        phased = simulate(gs, M4x4, free_model("phased"), ARIES)
+        asynch = simulate(gs, M4x4, free_model("async"), ARIES)
+        assert asynch.elapsed_seconds < phased.elapsed_seconds
+
+    def test_barrier_adds_cost(self):
+        g = graph(iters=100, width=16, steps=30)
+        p2p = simulate([g], M4x4, free_model("phased"), ARIES)
+        bulk = simulate([g], M4x4, free_model("phased", barrier=True), ARIES)
+        assert bulk.elapsed_seconds > p2p.elapsed_seconds
+
+
+class TestRuntimeMechanisms:
+    def test_dependency_overhead_scales_with_radix(self):
+        """Paper §5.5: dependencies per task strongly influence overhead."""
+        m = free_model("async", dep_overhead_s=1e-6, send_overhead_s=1e-6)
+        times = []
+        for radix in (0, 3, 9):
+            g = graph(iters=10, width=16, steps=20,
+                      pattern=DependenceType.NEAREST, radix=radix)
+            times.append(simulate([g], M4x4, m, IDEAL).elapsed_seconds)
+        assert times[0] < times[1] < times[2]
+
+    def test_dynamic_checks_scale_with_nodes(self):
+        """Paper §5.4: DTD-style DAG trimming costs grow with node count."""
+        m = free_model("async", dynamic_check_s_per_node=0.5e-6)
+        g1 = graph(iters=10, width=4, steps=20)
+        g4 = graph(iters=10, width=16, steps=20)
+        r1 = simulate([g1], M4, m, IDEAL)
+        r4 = simulate([g4], M4x4, m, IDEAL)
+        # same per-core task count; the 4-node run pays 4x the check cost
+        assert r4.elapsed_seconds > r1.elapsed_seconds
+
+    def test_controller_caps_throughput(self):
+        """Paper §5.4: a centralized controller bounds tasks/second."""
+        m = free_model("async", controller_tasks_per_s=1000.0)
+        g = graph(iters=1, width=16, steps=50)
+        r = simulate([g], M4x4, m, IDEAL)
+        assert r.tasks_per_second <= 1000.0 * 1.01
+
+    def test_controller_irrelevant_for_large_tasks(self):
+        m_free = free_model("async")
+        m_ctrl = free_model("async", controller_tasks_per_s=100000.0)
+        g = graph(iters=100000, width=4, steps=10)
+        r_free = simulate([g], M4, m_free, IDEAL)
+        r_ctrl = simulate([g], M4, m_ctrl, IDEAL)
+        assert r_ctrl.elapsed_seconds == pytest.approx(
+            r_free.elapsed_seconds, rel=0.05
+        )
+
+    def test_reserved_cores_cut_peak(self):
+        """Paper §5.1: reserving cores takes a hit in peak FLOP/s."""
+        m8 = MachineSpec(nodes=1, cores_per_node=8)
+        g = graph(iters=10000, width=7, steps=10)
+        reserved = free_model("async", runtime_cores_per_node=1)
+        r = simulate([g], m8, reserved, IDEAL)
+        eff = r.flops_per_second / m8.peak_flops
+        assert eff == pytest.approx(7 / 8, rel=0.01)
+
+    def test_reserved_cores_exhausting_node_rejected(self):
+        m = free_model("async", runtime_cores_per_node=4)
+        with pytest.raises(ValueError, match="no workers"):
+            simulate([graph()], M4, m, IDEAL)
+
+    def test_work_stealing_mitigates_imbalance(self):
+        """Paper §5.7: on-node work stealing gains efficiency under load
+        imbalance at large task granularity."""
+        m8 = MachineSpec(nodes=1, cores_per_node=8)
+        gs = [graph(iters=20000, width=8, steps=10, gi=k, imbalance=1.0,
+                    pattern=DependenceType.NEAREST, radix=5)
+              for k in range(4)]
+        plain = free_model("async")
+        stealing = free_model("async", work_stealing=True, steal_overhead_s=1e-6)
+        r_plain = simulate(gs, m8, plain, IDEAL)
+        r_steal = simulate(gs, m8, stealing, IDEAL)
+        assert r_steal.elapsed_seconds < r_plain.elapsed_seconds
+
+    def test_bulk_sync_suffers_most_under_imbalance(self):
+        """Paper §5.7: the phase barrier makes imbalance bound efficiency."""
+        gs = [graph(iters=20000, width=16, steps=10, gi=k, imbalance=1.0)
+              for k in range(4)]
+        bulk = simulate(gs, M4x4, free_model("phased", barrier=True), IDEAL)
+        asynch = simulate(gs, M4x4, free_model("async"), IDEAL)
+        assert asynch.elapsed_seconds < bulk.elapsed_seconds
+
+
+class TestSystemsCatalog:
+    def test_all_systems_simulate(self):
+        m8 = MachineSpec(nodes=1, cores_per_node=8)
+        g = graph(iters=100, width=8, steps=5)
+        for name, model in all_systems().items():
+            r = simulate([g], m8, scaled_for(model, m8), ARIES)
+            assert r.elapsed_seconds > 0, name
+
+    @pytest.mark.parametrize("pattern", list(DependenceType))
+    def test_all_systems_all_patterns(self, pattern):
+        """Every modeled system completes every dependence pattern on a
+        multi-node machine (single-node systems on one node)."""
+        multi = MachineSpec(nodes=2, cores_per_node=4)
+        single = MachineSpec(nodes=1, cores_per_node=8)
+        g = graph(iters=50, width=8, steps=5, pattern=pattern)
+        for name, model in all_systems().items():
+            machine = multi if model.distributed else single
+            r = simulate([g], machine, scaled_for(model, machine), ARIES)
+            assert r.elapsed_seconds > 0, (name, pattern)
+
+    def test_system_totals_independent_of_model(self):
+        """Work accounting comes from the graphs, not the model."""
+        m8 = MachineSpec(nodes=1, cores_per_node=8)
+        g = graph(iters=100, width=8, steps=5)
+        totals = {
+            simulate([g], m8, scaled_for(mod, m8), ARIES).total_flops
+            for mod in all_systems().values()
+        }
+        assert len(totals) == 1
+
+    def test_get_system_unknown(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            get_system("erlang")
+
+    def test_five_orders_of_magnitude(self):
+        """Paper §1: baseline overheads span >5 orders of magnitude."""
+        systems = all_systems()
+        fast = systems["mpi_p2p"].task_overhead_s
+        slow = systems["swift_t"].task_overhead_s + systems["spark"].task_overhead_s
+        assert slow / fast > 1e4
+
+    def test_scaled_for_preserves_fraction(self):
+        from repro.sim import CORI_HASWELL
+
+        realm = get_system("realm")
+        assert scaled_for(realm, CORI_HASWELL).runtime_cores_per_node == 2
+        small = MachineSpec(nodes=1, cores_per_node=8)
+        assert scaled_for(realm, small).runtime_cores_per_node == 1
+        tiny = MachineSpec(nodes=1, cores_per_node=4)
+        assert scaled_for(realm, tiny).runtime_cores_per_node == 0
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeModel(name="x", task_overhead_s=-1)
+        with pytest.raises(ValueError, match="barrier"):
+            RuntimeModel(name="x", execution="async", barrier=True)
+        with pytest.raises(ValueError):
+            RuntimeModel(name="x", runtime_cores_per_node=-1)
+
+    def test_task_runtime_cost_formula(self):
+        m = RuntimeModel(
+            name="x",
+            task_overhead_s=1e-6,
+            dep_overhead_s=2e-6,
+            send_overhead_s=3e-6,
+            dynamic_check_s_per_node=0.1e-6,
+        )
+        assert m.task_runtime_cost_s(2, 3, 10) == pytest.approx(
+            1e-6 + 4e-6 + 9e-6 + 1e-6
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for the TaskGraph abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DependenceType,
+    Kernel,
+    KernelType,
+    TaskGraph,
+    ValidationError,
+)
+from repro.core.validation import expected_inputs
+
+
+def stencil_graph(**kw):
+    base = dict(
+        timesteps=6,
+        max_width=8,
+        dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=2),
+        output_bytes_per_task=16,
+    )
+    base.update(kw)
+    return TaskGraph(**base)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = TaskGraph(timesteps=3, max_width=2)
+        assert g.dependence is DependenceType.TRIVIAL
+        assert g.graph_index == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="timesteps"):
+            TaskGraph(timesteps=0, max_width=2)
+        with pytest.raises(ValueError, match="max_width"):
+            TaskGraph(timesteps=2, max_width=0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="output_bytes"):
+            TaskGraph(timesteps=2, max_width=2, output_bytes_per_task=-1)
+        with pytest.raises(ValueError, match="scratch_bytes"):
+            TaskGraph(timesteps=2, max_width=2, scratch_bytes_per_task=-1)
+
+    def test_memory_kernel_requires_scratch(self):
+        with pytest.raises(ValueError, match="scratch"):
+            TaskGraph(
+                timesteps=2,
+                max_width=2,
+                kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=1, span_bytes=4),
+                scratch_bytes_per_task=0,
+            )
+
+    def test_with_replaces_fields(self):
+        g = stencil_graph()
+        g2 = g.with_(max_width=16)
+        assert g2.max_width == 16 and g.max_width == 8
+        assert g2.dependence is g.dependence
+
+    def test_frozen(self):
+        g = stencil_graph()
+        with pytest.raises(Exception):
+            g.max_width = 99
+
+    def test_describe_mentions_key_params(self):
+        d = stencil_graph().describe()
+        assert "stencil_1d" in d and "6x8" in d
+
+
+class TestAccounting:
+    def test_total_tasks_rectangle(self):
+        g = stencil_graph()
+        assert g.total_tasks() == 6 * 8
+
+    def test_total_tasks_tree(self):
+        g = stencil_graph(dependence=DependenceType.TREE)
+        assert g.total_tasks() == 1 + 2 + 4 + 8 + 8 + 8
+
+    def test_total_dependencies_trivial(self):
+        g = stencil_graph(dependence=DependenceType.TRIVIAL)
+        assert g.total_dependencies() == 0
+
+    def test_total_dependencies_stencil(self):
+        g = stencil_graph()
+        # interior: 3 deps, two edges: 2 deps; 5 dependent timesteps
+        assert g.total_dependencies() == 5 * (6 * 3 + 2 * 2)
+
+    def test_total_flops(self):
+        g = stencil_graph()
+        assert g.total_flops() == 48 * 2 * 128
+
+    def test_total_flops_empty_kernel_zero(self):
+        g = stencil_graph(kernel=Kernel())
+        assert g.total_flops() == 0
+
+    def test_total_flops_imbalance_less_than_nominal(self):
+        g = stencil_graph(
+            kernel=Kernel(
+                kernel_type=KernelType.LOAD_IMBALANCE, iterations=1000, imbalance=1.0
+            )
+        )
+        nominal = 48 * 1000 * 128
+        assert 0 < g.total_flops() < nominal
+
+    def test_total_bytes_memory_kernel(self):
+        g = stencil_graph(
+            kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=3, span_bytes=10),
+            scratch_bytes_per_task=64,
+        )
+        assert g.total_bytes() == 48 * 2 * 3 * 10
+
+    def test_points_cover_iteration_space(self):
+        g = stencil_graph(dependence=DependenceType.TREE)
+        pts = list(g.points())
+        assert len(pts) == g.total_tasks()
+        assert all(g.contains_point(t, i) for t, i in pts)
+        assert len(set(pts)) == len(pts)
+
+
+class TestExecutePoint:
+    def test_first_timestep_no_inputs(self):
+        g = stencil_graph()
+        out = g.execute_point(0, 3, [])
+        assert out.nbytes == 16
+
+    def test_chained_execution_validates(self):
+        g = stencil_graph()
+        outputs = {i: g.execute_point(0, i, []) for i in range(8)}
+        for i in range(8):
+            inputs = [outputs[j] for j in g.dependency_points(1, i)]
+            g.execute_point(1, i, inputs)
+
+    def test_wrong_input_count_raises(self):
+        g = stencil_graph()
+        with pytest.raises(ValidationError, match="expected 3 inputs"):
+            g.execute_point(1, 3, [])
+
+    def test_wrong_input_order_raises(self):
+        g = stencil_graph()
+        inputs = expected_inputs(g, 1, 3)
+        inputs.reverse()
+        with pytest.raises(ValidationError):
+            g.execute_point(1, 3, inputs)
+
+    def test_corrupted_input_raises(self):
+        g = stencil_graph()
+        inputs = expected_inputs(g, 1, 3)
+        inputs[1] = inputs[1].copy()
+        inputs[1][-1] ^= 0xFF
+        with pytest.raises(ValidationError, match="slot 1"):
+            g.execute_point(1, 3, inputs)
+
+    def test_validation_can_be_disabled(self):
+        g = stencil_graph()
+        out = g.execute_point(1, 3, [], validate=False)
+        assert out.nbytes == 16
+
+    def test_memory_kernel_end_to_end(self):
+        g = stencil_graph(
+            kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=2, span_bytes=8),
+            scratch_bytes_per_task=64,
+        )
+        scratch = g.prepare_scratch()
+        assert scratch.nbytes == 64 and scratch.dtype == np.uint8
+        g.execute_point(0, 0, [], scratch=scratch)
+
+    def test_prepare_scratch_zeroed(self):
+        g = stencil_graph(scratch_bytes_per_task=32)
+        assert np.all(g.prepare_scratch() == 0)
+
+
+class TestShapeDelegation:
+    def test_max_dependencies(self):
+        assert stencil_graph().max_dependencies() == 3
+        assert stencil_graph(dependence=DependenceType.ALL_TO_ALL).max_dependencies() == 8
+
+    def test_offset_zero_for_rectangular(self):
+        g = stencil_graph()
+        assert all(g.offset_at_timestep(t) == 0 for t in range(6))
+
+    def test_dependency_points_sorted(self):
+        g = stencil_graph(dependence=DependenceType.SPREAD, radix=3)
+        for t, i in g.points():
+            if t == 0:
+                continue
+            pts = list(g.dependency_points(t, i))
+            assert pts == sorted(pts)

@@ -1,0 +1,138 @@
+"""Tests for trace collection and Gantt rendering."""
+
+import pytest
+
+from repro.analysis import idle_fraction, per_graph_spans, render_gantt
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.sim import ARIES, IDEAL, MachineSpec, RuntimeModel, get_system, simulate_with_stats
+
+M4 = MachineSpec(nodes=1, cores_per_node=4)
+
+
+def graphs(n=1, iters=500, output=16):
+    return [
+        TaskGraph(
+            timesteps=6,
+            max_width=4,
+            dependence=DependenceType.STENCIL_1D,
+            kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=iters),
+            output_bytes_per_task=output,
+            graph_index=k,
+        )
+        for k in range(n)
+    ]
+
+
+def model(execution="async"):
+    return RuntimeModel(name="m", execution=execution, task_overhead_s=0.0,
+                        dep_overhead_s=0.0, send_overhead_s=0.0)
+
+
+class TestTraceCollection:
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_trace_covers_all_tasks(self, execution):
+        gs = graphs()
+        _, st = simulate_with_stats(gs, M4, model(execution), IDEAL,
+                                    collect_trace=True)
+        assert len(st.trace) == gs[0].total_tasks()
+        keys = {(g, t, i) for g, t, i, _, _, _ in st.trace}
+        assert len(keys) == len(st.trace)
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_trace_intervals_well_formed(self, execution):
+        _, st = simulate_with_stats(graphs(), M4, model(execution), IDEAL,
+                                    collect_trace=True)
+        for _, _, _, core, start, end in st.trace:
+            assert 0 <= core < 4
+            assert 0 <= start < end
+
+    @pytest.mark.parametrize("execution", ["phased", "async"])
+    def test_no_overlap_on_one_core(self, execution):
+        _, st = simulate_with_stats(graphs(2), M4, model(execution), IDEAL,
+                                    collect_trace=True)
+        by_core = {}
+        for _, _, _, core, start, end in st.trace:
+            by_core.setdefault(core, []).append((start, end))
+        for intervals in by_core.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-15
+
+    def test_trace_disabled_by_default(self):
+        _, st = simulate_with_stats(graphs(), M4, model(), IDEAL)
+        assert st.trace is None
+
+    def test_trace_ends_match_elapsed(self):
+        r, st = simulate_with_stats(graphs(), M4, model(), IDEAL,
+                                    collect_trace=True)
+        assert max(e for *_, e in st.trace) == pytest.approx(r.elapsed_seconds)
+
+
+class TestRenderGantt:
+    def trace(self):
+        _, st = simulate_with_stats(graphs(2), M4, model(), IDEAL,
+                                    collect_trace=True)
+        return st.trace
+
+    def test_one_row_per_core(self):
+        text = render_gantt(self.trace(), 4, width=40)
+        assert sum(1 for l in text.splitlines() if "|" in l) == 4
+
+    def test_graph_digits_present(self):
+        text = render_gantt(self.trace(), 4)
+        assert "0" in text and "1" in text
+
+    def test_title_rendered(self):
+        assert render_gantt(self.trace(), 4, title="demo").startswith("demo")
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in render_gantt([], 4)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            render_gantt([], 0)
+        with pytest.raises(ValueError):
+            render_gantt(self.trace(), 4, width=2)
+        with pytest.raises(ValueError, match="core"):
+            render_gantt([(0, 0, 0, 9, 0.0, 1.0)], 4)
+
+    def test_width_respected(self):
+        text = render_gantt(self.trace(), 4, width=32)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert all(len(r.split("|", 1)[1]) == 32 for r in rows)
+
+
+class TestTraceAnalysis:
+    def test_idle_fraction_bulk_vs_async(self):
+        """The §5.6 phenomenon, quantified from the trace: phased
+        bulk-sync execution idles while communicating; async overlaps."""
+        m = MachineSpec(nodes=2, cores_per_node=4)
+        gs = [
+            TaskGraph(
+                timesteps=8, max_width=8, dependence=DependenceType.SPREAD,
+                radix=5,
+                kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=300),
+                output_bytes_per_task=65536, graph_index=k,
+            )
+            for k in range(2)
+        ]
+        bulk = get_system("mpi_bulk_sync")
+        charm = get_system("charmpp").with_(runtime_cores_per_node=0)
+        _, st_bulk = simulate_with_stats(gs, m, bulk, ARIES, collect_trace=True)
+        _, st_charm = simulate_with_stats(gs, m, charm, ARIES, collect_trace=True)
+        assert idle_fraction(st_bulk.trace, 8) > idle_fraction(st_charm.trace, 8) + 0.1
+
+    def test_idle_fraction_zero_for_dense_trace(self):
+        trace = [(0, 0, 0, 0, 0.0, 1.0), (0, 1, 0, 1, 0.0, 1.0)]
+        assert idle_fraction(trace, 2) == pytest.approx(0.0)
+
+    def test_idle_fraction_empty(self):
+        assert idle_fraction([], 4) == 0.0
+
+    def test_per_graph_spans_overlap(self):
+        _, st = simulate_with_stats(graphs(2), M4, model(), IDEAL,
+                                    collect_trace=True)
+        spans = per_graph_spans(st.trace)
+        assert set(spans) == {0, 1}
+        (lo0, hi0), (lo1, hi1) = spans[0], spans[1]
+        assert max(lo0, lo1) < min(hi0, hi1)  # the graphs overlap in time

@@ -1,0 +1,155 @@
+"""Unit tests for the fully-validating output/input scheme (paper §2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DependenceType, TaskGraph, ValidationError
+from repro.core.validation import (
+    HEADER_BYTES,
+    expected_inputs,
+    task_output,
+    validate_inputs,
+)
+
+
+def graph(**kw):
+    base = dict(timesteps=5, max_width=6, dependence=DependenceType.STENCIL_1D)
+    base.update(kw)
+    return TaskGraph(**base)
+
+
+class TestTaskOutput:
+    def test_length_matches_config(self):
+        for n in (0, 1, 8, 16, 32, 33, 100):
+            g = graph(output_bytes_per_task=n)
+            assert task_output(g, 2, 3).nbytes == n
+
+    def test_outputs_unique_across_points(self):
+        """Paper: 'The output of every task in Task Bench is unique.'"""
+        g = graph(output_bytes_per_task=32)
+        seen = set()
+        for t, i in g.points():
+            seen.add(task_output(g, t, i).tobytes())
+        assert len(seen) == g.total_tasks()
+
+    def test_outputs_unique_across_graphs(self):
+        g0 = graph(graph_index=0, output_bytes_per_task=32)
+        g1 = graph(graph_index=1, output_bytes_per_task=32)
+        assert task_output(g0, 1, 1).tobytes() != task_output(g1, 1, 1).tobytes()
+
+    def test_outputs_unique_across_seeds(self):
+        a = graph(seed=1, output_bytes_per_task=32)
+        b = graph(seed=2, output_bytes_per_task=32)
+        assert task_output(a, 1, 1).tobytes() != task_output(b, 1, 1).tobytes()
+
+    def test_deterministic(self):
+        g = graph()
+        assert np.array_equal(task_output(g, 3, 2), task_output(g, 3, 2))
+
+    def test_header_encodes_identity(self):
+        g = graph(output_bytes_per_task=64, graph_index=2, seed=77)
+        t, i, gidx, seed = task_output(g, 3, 4)[:HEADER_BYTES].view("<i8")
+        assert (t, i, gidx, seed) == (3, 4, 2, 77)
+
+    def test_small_outputs_unique_within_graph(self):
+        """(t, i) lead the header so 16-byte outputs stay unique."""
+        g = graph(output_bytes_per_task=16)
+        seen = {task_output(g, t, i).tobytes() for t, i in g.points()}
+        assert len(seen) == g.total_tasks()
+
+    def test_tiled_beyond_header(self):
+        g = graph(output_bytes_per_task=HEADER_BYTES * 2)
+        out = task_output(g, 1, 1)
+        assert np.array_equal(out[:HEADER_BYTES], out[HEADER_BYTES:])
+
+    def test_returns_fresh_copy(self):
+        g = graph()
+        a = task_output(g, 1, 1)
+        a[0] ^= 0xFF
+        assert not np.array_equal(a, task_output(g, 1, 1))
+
+
+class TestValidateInputs:
+    def test_accepts_expected(self):
+        g = graph()
+        for t, i in g.points():
+            validate_inputs(g, t, i, expected_inputs(g, t, i))
+
+    def test_rejects_missing_input(self):
+        g = graph()
+        inputs = expected_inputs(g, 2, 3)
+        with pytest.raises(ValidationError, match="expected 3 inputs"):
+            validate_inputs(g, 2, 3, inputs[:-1])
+
+    def test_rejects_extra_input(self):
+        g = graph()
+        inputs = expected_inputs(g, 2, 3)
+        with pytest.raises(ValidationError):
+            validate_inputs(g, 2, 3, inputs + [inputs[0]])
+
+    def test_rejects_wrong_timestep_input(self):
+        g = graph(output_bytes_per_task=64)
+        stale = [task_output(g, 0, j) for j in g.dependency_points(2, 3)]
+        with pytest.raises(ValidationError, match=r"t=0"):
+            validate_inputs(g, 2, 3, stale)
+
+    def test_rejects_wrong_column_input(self):
+        g = graph(output_bytes_per_task=64)
+        inputs = expected_inputs(g, 2, 3)
+        inputs[0] = task_output(g, 1, 5)
+        with pytest.raises(ValidationError, match="i=5"):
+            validate_inputs(g, 2, 3, inputs)
+
+    def test_rejects_wrong_size(self):
+        g = graph()
+        inputs = expected_inputs(g, 2, 3)
+        inputs[0] = inputs[0][:-1]
+        with pytest.raises(ValidationError, match="wrong size"):
+            validate_inputs(g, 2, 3, inputs)
+
+    def test_rejects_corruption_anywhere(self):
+        """Tiled pattern means corruption beyond the header is detected."""
+        g = graph(output_bytes_per_task=128)
+        inputs = expected_inputs(g, 2, 3)
+        inputs[2] = inputs[2].copy()
+        inputs[2][100] ^= 0x01
+        with pytest.raises(ValidationError, match="slot 2"):
+            validate_inputs(g, 2, 3, inputs)
+
+    def test_rejects_cross_graph_input(self):
+        g0 = graph(graph_index=0, output_bytes_per_task=64)
+        g1 = graph(graph_index=1, output_bytes_per_task=64)
+        inputs = expected_inputs(g0, 2, 3)
+        inputs[0] = task_output(g1, 1, 2)
+        with pytest.raises(ValidationError, match="graph 1"):
+            validate_inputs(g0, 2, 3, inputs)
+
+    def test_first_timestep_expects_nothing(self):
+        g = graph()
+        validate_inputs(g, 0, 0, [])
+        with pytest.raises(ValidationError):
+            validate_inputs(g, 0, 0, [task_output(g, 0, 0)])
+
+    def test_zero_byte_outputs_validate_by_count(self):
+        g = graph(output_bytes_per_task=0)
+        validate_inputs(g, 2, 3, expected_inputs(g, 2, 3))
+
+    def test_accepts_flat_bytes_like(self):
+        g = graph()
+        inputs = [np.asarray(b) for b in expected_inputs(g, 2, 3)]
+        validate_inputs(g, 2, 3, inputs)
+
+    def test_expected_inputs_order_matches_dependency_points(self):
+        g = graph(dependence=DependenceType.SPREAD, radix=3)
+        for t, i in g.points():
+            if t == 0:
+                continue
+            cols = list(g.dependency_points(t, i))
+            inputs = expected_inputs(g, t, i)
+            assert len(cols) == len(inputs)
+            for col, buf in zip(cols, inputs):
+                assert np.array_equal(buf, task_output(g, t - 1, col))
+
+    def test_validation_error_is_assertion_error(self):
+        """Paper: 'an assertion is thrown if validation fails'."""
+        assert issubclass(ValidationError, AssertionError)
