@@ -1,0 +1,35 @@
+"""Static task-graph analysis, schedule auditing, and contract lint.
+
+Three passes, all reporting :class:`~repro.core.diagnostics.Diagnostic`
+records:
+
+* :mod:`repro.check.graph_lint` — proves well-formedness of a task-graph
+  configuration *before* any kernel runs: dependence-relation duality,
+  acyclicity/schedulability, dependency-count bounds (Table 2), payload
+  memory vs. :class:`~repro.sim.machine.MachineSpec`, and a critical-path
+  lower bound on runtime.
+* :mod:`repro.check.hb_audit` — replays an executor's recorded schedule
+  (the trace hooks in :mod:`repro.runtimes._common`) through a vector-clock
+  checker, flagging inputs acquired without a happens-before edge from
+  their producer — ordering races that bytewise validation can miss.
+* :mod:`repro.check.api_lint` — AST lint of :mod:`repro.runtimes` against
+  the O(m + n) executor contract (required members, kernel routing, timing
+  discipline, locked shared-state mutation).
+
+All three are wired into the ``task-bench check`` CLI subcommand.
+"""
+
+from .api_lint import lint_executor_api, lint_runtime_sources
+from .graph_lint import critical_path_seconds, lint_graphs, peak_payload_bytes
+from .hb_audit import AuditResult, audit_run, audit_trace
+
+__all__ = [
+    "AuditResult",
+    "audit_run",
+    "audit_trace",
+    "critical_path_seconds",
+    "lint_executor_api",
+    "lint_graphs",
+    "lint_runtime_sources",
+    "peak_payload_bytes",
+]

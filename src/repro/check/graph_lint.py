@@ -1,0 +1,320 @@
+"""Static task-graph lint: prove a configuration well-formed before running.
+
+The paper's safety net is dynamic — bytewise validation catches a bug only
+if a run trips it.  This pass proves properties of the *configuration*
+without executing a single kernel:
+
+* **Duality** (``graph-duality``): the dependence relation's fundamental
+  invariant, ``j in deps(t, i) <=> i in rdeps(t-1, j)``, both sides
+  restricted to points that exist (``contains_point``), checked over the
+  full iteration space.
+* **Dangling edges** (``graph-dangling-dep``): every declared dependency
+  must name a point that exists at the previous timestep.
+* **Acyclicity / schedulability** (``graph-cycle``): a dependency-counting
+  replay — exactly what the real executors run — must retire every task.
+  A deadlocked replay means the relation is cyclic in the waits-for sense
+  (an edge consumed by ``dependencies`` is never released by
+  ``reverse_dependencies``).
+* **Dependency-count bounds** (``graph-dep-count``): per-task dependency
+  counts must agree with the Table 2 equations, i.e. never exceed the
+  pattern's ``max_dependencies()`` bound, and interval queries must be
+  self-consistent.
+* **Memory overcommit** (``graph-memory-overcommit``): the live payload
+  frontier (producer outputs + consumer copies + scratch working sets)
+  estimated against :class:`~repro.sim.machine.MachineSpec` DRAM.
+* **Critical path** (``graph-critical-path`` / ``graph-infeasible``): the
+  longest kernel-weighted path is a lower bound on any executor's runtime;
+  with a time budget it becomes a feasibility check.
+
+Findings are structured :class:`~repro.core.diagnostics.Diagnostic` records
+with severity, location, and a fix hint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.diagnostics import Diagnostic, error, info, warning
+from ..core.task_graph import TaskGraph
+from ..sim.machine import MachineSpec
+
+
+def _point(g: TaskGraph, t: int, i: int) -> str:
+    return f"graph {g.graph_index} (t={t}, i={i})"
+
+
+# ----------------------------------------------------------------------
+# Individual passes
+# ----------------------------------------------------------------------
+def check_duality(g: TaskGraph, out: List[Diagnostic]) -> None:
+    """Exhaustively verify deps/rdeps duality restricted to existing points."""
+    for t, i in g.points():
+        for j in g.dependency_points(t, i):
+            if not g.contains_point(t - 1, j):
+                out.append(
+                    error(
+                        "graph-dangling-dep",
+                        f"depends on (t={t - 1}, i={j}), which is outside the "
+                        "iteration space",
+                        _point(g, t, i),
+                        "clip raw dependencies to the previous timestep's "
+                        "active window (offset/width_at_timestep)",
+                    )
+                )
+                continue
+            if i not in set(g.reverse_dependency_points(t - 1, j)):
+                out.append(
+                    error(
+                        "graph-duality",
+                        f"reads (t={t - 1}, i={j}) but the producer's "
+                        "reverse_dependencies do not list it as a consumer",
+                        _point(g, t, i),
+                        "make reverse_dependencies the exact inverse of "
+                        "dependencies for this pattern",
+                    )
+                )
+        if t + 1 < g.timesteps:
+            for j in g.reverse_dependency_points(t, i):
+                if not g.contains_point(t + 1, j):
+                    out.append(
+                        error(
+                            "graph-dangling-dep",
+                            f"lists consumer (t={t + 1}, i={j}), which is "
+                            "outside the iteration space",
+                            _point(g, t, i),
+                            "clip raw reverse dependencies to the next "
+                            "timestep's active window",
+                        )
+                    )
+                elif i not in set(g.dependency_points(t + 1, j)):
+                    out.append(
+                        error(
+                            "graph-duality",
+                            f"lists consumer (t={t + 1}, i={j}) but that task's "
+                            "dependencies do not include this producer",
+                            _point(g, t, i),
+                            "make dependencies the exact inverse of "
+                            "reverse_dependencies for this pattern",
+                        )
+                    )
+
+
+def check_schedulability(graphs: Sequence[TaskGraph], out: List[Diagnostic]) -> None:
+    """Dependency-counting replay: every task must become ready and retire.
+
+    This is the executor's-eye view of acyclicity: real executors release a
+    consumer when each of its producers completes (via
+    ``reverse_dependencies``) and wait for ``num_dependencies`` inputs.  If
+    the two sides disagree, or edges form a waits-for cycle, the replay
+    deadlocks exactly as a real run would hang.
+    """
+    pending: Dict[Tuple[int, int, int], int] = {}
+    ready: List[Tuple[int, int, int]] = []
+    by_index = {g.graph_index: g for g in graphs}
+    total = 0
+    for g in graphs:
+        for t, i in g.points():
+            total += 1
+            n = g.num_dependencies(t, i)
+            if n == 0:
+                ready.append((g.graph_index, t, i))
+            else:
+                pending[(g.graph_index, t, i)] = n
+    retired = 0
+    while ready:
+        gi, t, i = ready.pop()
+        retired += 1
+        g = by_index[gi]
+        if t + 1 >= g.timesteps:
+            continue
+        for j in g.reverse_dependency_points(t, i):
+            key = (gi, t + 1, j)
+            left = pending.get(key)
+            if left is None:
+                continue  # duality pass reports the mismatch itself
+            if left == 1:
+                del pending[key]
+                ready.append(key)
+            else:
+                pending[key] = left - 1
+    if retired != total:
+        stuck = sorted(pending)[:5]
+        out.append(
+            error(
+                "graph-cycle",
+                f"dependency-counting replay deadlocked: {total - retired} of "
+                f"{total} tasks never became ready (e.g. {stuck}); the "
+                "dependence relation is cyclic or its duality is broken",
+                "schedulability",
+                "every edge consumed by dependencies() must be released by "
+                "the producer's reverse_dependencies()",
+            )
+        )
+
+
+def check_dependency_counts(g: TaskGraph, out: List[Diagnostic]) -> None:
+    """Per-task dependency counts vs. the Table 2 pattern bounds."""
+    bound = g.max_dependencies()
+    for t, i in g.points():
+        intervals = g.dependencies(t, i)
+        n_count = g.num_dependencies(t, i)
+        n_points = sum(1 for _ in g.dependency_points(t, i))
+        if n_count != n_points:
+            out.append(
+                error(
+                    "graph-dep-count",
+                    f"num_dependencies reports {n_count} but the dependency "
+                    f"intervals {intervals} cover {n_points} points",
+                    _point(g, t, i),
+                    "keep num_dependencies consistent with dependencies()",
+                )
+            )
+        if t > 0 and n_count > bound:
+            out.append(
+                error(
+                    "graph-dep-count",
+                    f"{n_count} dependencies exceed the "
+                    f"{g.dependence.value} pattern bound of {bound} "
+                    "(Table 2)",
+                    _point(g, t, i),
+                    "fix the pattern's dependencies() or its "
+                    "max_dependencies() bound",
+                )
+            )
+
+
+def peak_payload_bytes(graphs: Sequence[TaskGraph]) -> int:
+    """Upper estimate of the live payload frontier, in bytes.
+
+    Executors hold at most two timesteps of outputs per graph (producers of
+    the frontier plus the frontier's own outputs), one consumer copy per
+    dependence edge crossing the frontier, and one scratch buffer per
+    column.
+    """
+    peak = 0
+    for g in graphs:
+        worst = 0
+        for t in range(g.timesteps):
+            live = g.width_at_timestep(t) * g.output_bytes_per_task
+            if t + 1 < g.timesteps:
+                live += g.width_at_timestep(t + 1) * g.output_bytes_per_task
+                edges = sum(
+                    g.num_dependencies(t + 1, j)
+                    for j in range(
+                        g.offset_at_timestep(t + 1),
+                        g.offset_at_timestep(t + 1) + g.width_at_timestep(t + 1),
+                    )
+                )
+                live += edges * g.output_bytes_per_task
+            worst = max(worst, live)
+        peak += worst + g.max_width * g.scratch_bytes_per_task
+    return peak
+
+
+def check_memory(
+    graphs: Sequence[TaskGraph], machine: MachineSpec, out: List[Diagnostic]
+) -> None:
+    """Flag configurations whose payload frontier overcommits machine DRAM."""
+    peak = peak_payload_bytes(graphs)
+    if peak > machine.total_memory:
+        out.append(
+            warning(
+                "graph-memory-overcommit",
+                f"estimated live payload frontier of {peak:,} bytes exceeds "
+                f"machine memory of {machine.total_memory:,.0f} bytes "
+                f"({machine.nodes} nodes x {machine.memory_per_node:,.0f})",
+                "memory",
+                "reduce -output/-scratch bytes or graph width, or add nodes",
+            )
+        )
+
+
+def critical_path_seconds(
+    graphs: Sequence[TaskGraph], machine: MachineSpec
+) -> float:
+    """Kernel-weighted longest path: a lower bound on any executor's runtime.
+
+    Communication is ignored (it only adds time), so the bound is valid for
+    every runtime system; concurrent graphs run in parallel, so the bound is
+    the max over graphs.
+    """
+    model = machine.kernel_time_model()
+    best = 0.0
+    for g in graphs:
+        prev: Dict[int, float] = {}
+        for t in range(g.timesteps):
+            cur: Dict[int, float] = {}
+            off = g.offset_at_timestep(t)
+            for i in range(off, off + g.width_at_timestep(t)):
+                depth = 0.0
+                if t > 0:
+                    for j in g.dependency_points(t, i):
+                        depth = max(depth, prev.get(j, 0.0))
+                cur[i] = depth + model.task_seconds(g.kernel, t, i, g.seed)
+            prev = cur
+        if prev:
+            best = max(best, max(prev.values()))
+    return best
+
+
+def check_critical_path(
+    graphs: Sequence[TaskGraph],
+    machine: MachineSpec,
+    time_budget_seconds: Optional[float],
+    out: List[Diagnostic],
+) -> None:
+    """Report the critical-path bound; with a budget, check feasibility."""
+    cp = critical_path_seconds(graphs, machine)
+    total_work = sum(
+        machine.kernel_time_model().task_seconds(g.kernel, t, i, g.seed)
+        for g in graphs
+        for t, i in g.points()
+    )
+    ideal = total_work / max(1, machine.total_cores)
+    out.append(
+        info(
+            "graph-critical-path",
+            f"runtime lower bound: critical path {cp:.3e} s, "
+            f"perfect-parallelism bound {ideal:.3e} s on "
+            f"{machine.total_cores} cores",
+            "critical-path",
+        )
+    )
+    if time_budget_seconds is not None and cp > time_budget_seconds:
+        out.append(
+            error(
+                "graph-infeasible",
+                f"critical-path lower bound {cp:.3e} s exceeds the time "
+                f"budget of {time_budget_seconds:.3e} s on any machine of "
+                "this speed — no schedule can meet it",
+                "critical-path",
+                "shorten the graph (fewer timesteps), shrink the kernel, or "
+                "raise the budget",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def lint_graphs(
+    graphs: Sequence[TaskGraph],
+    machine: MachineSpec | None = None,
+    *,
+    time_budget_seconds: float | None = None,
+) -> List[Diagnostic]:
+    """Run every static pass over ``graphs`` and return the diagnostics.
+
+    ``machine`` defaults to the Cori-Haswell reference spec; it supplies the
+    kernel time model for the critical-path bound and the DRAM capacity for
+    the overcommit check.
+    """
+    machine = machine or MachineSpec()
+    out: List[Diagnostic] = []
+    for g in graphs:
+        check_duality(g, out)
+        check_dependency_counts(g, out)
+    check_schedulability(graphs, out)
+    check_memory(graphs, machine, out)
+    check_critical_path(graphs, machine, time_budget_seconds, out)
+    return out

@@ -15,6 +15,19 @@ Accepts the official Task Bench flag vocabulary (see
 ``-runtime sim:<system>`` selects a modeled system on the simulator
 substrate; any other name selects a real executor from
 ``repro.runtimes``.  Output is the core library's uniform report.
+
+Two correctness-tooling entry points (see :mod:`repro.check`)::
+
+    # static passes: graph lint + executor-contract lint + audited run
+    task-bench check -steps 100 -width 4 -type stencil_1d -runtime threads
+
+    # contract lint of this repo's own executors only (CI gate)
+    task-bench check --self
+
+    # a normal run with the happens-before schedule audit enabled
+    task-bench -steps 100 -width 4 -runtime threads --audit
+
+Exit codes for ``check``: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -84,12 +97,86 @@ def run_metg(app: AppConfig, target: float) -> str:
     return "\n".join(lines)
 
 
+def run_check(args: List[str]) -> int:
+    """``task-bench check``: run the static-analysis passes.
+
+    ``--self`` lints only the repo's own executor sources (the CI gate);
+    otherwise the configured graphs are graph-linted, the executor contract
+    is linted, and — for real runtimes — the graphs are executed under the
+    happens-before schedule audit.  Exit codes: 0 clean, 1 findings, 2
+    usage error.
+    """
+    from .check import audit_run, lint_graphs, lint_runtime_sources
+    from .core.diagnostics import findings, render_report
+
+    diagnostics = []
+    self_only = False
+    if "--self" in args:
+        args = [a for a in args if a != "--self"]
+        self_only = True
+        if args:
+            print("error: check --self takes no further arguments",
+                  file=sys.stderr)
+            return 2
+    time_budget: float | None = None
+    if "-budget" in args:
+        pos = args.index("-budget")
+        args.pop(pos)
+        if pos >= len(args):
+            print("error: -budget is missing its value", file=sys.stderr)
+            return 2
+        try:
+            time_budget = float(args.pop(pos))
+        except ValueError:
+            print("error: -budget expects a number", file=sys.stderr)
+            return 2
+
+    diagnostics.extend(lint_runtime_sources())
+    if not self_only:
+        try:
+            app = parse_args(args)
+        except (ConfigError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        machine = MachineSpec(
+            nodes=app.nodes, cores_per_node=app.cores_per_node or 32
+        )
+        diagnostics.extend(
+            lint_graphs(app.graphs, machine, time_budget_seconds=time_budget)
+        )
+        if not app.runtime.startswith("sim:"):
+            try:
+                executor = make_executor(app.runtime, workers=app.workers)
+            except ValueError as e:
+                print(f"error: {e}", file=sys.stderr)
+                return 2
+            # Audit only schedulable configs: a deadlocked replay means the
+            # real run would hang too.
+            if not any(d.code == "graph-cycle" for d in diagnostics):
+                audit = audit_run(executor, app.graphs, validate=app.validate)
+                diagnostics.extend(audit.diagnostics)
+    report = render_report(diagnostics)
+    if report:
+        print(report)
+    bad = findings(diagnostics)
+    print(f"check: {len(bad)} finding(s)")
+    return 1 if bad else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args: List[str] = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] in ("-h", "--help", "help"):
         print(_usage())
         return 0
+    if args and args[0] == "check":
+        return run_check(args[1:])
+    # --audit: run normally but record the schedule and audit it afterwards.
+    audit_enabled = False
+    for flag in ("--audit", "-audit"):
+        if flag in args:
+            args.remove(flag)
+            audit_enabled = True
     # -scenario NAME replaces the graph flags with a named application
     # scenario (repro.core.scenarios); -width/-steps/-iter still apply.
     scenario_name: str | None = None
@@ -136,6 +223,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     if app.verbose:
         for g in app.graphs:
             print(g.describe())
+    if audit_enabled:
+        if metg_target is not None or app.runtime.startswith("sim:"):
+            print("error: --audit requires a single run on a real runtime",
+                  file=sys.stderr)
+            return 2
+        from .check import audit_run
+        from .core.diagnostics import findings, render_report
+
+        try:
+            executor = make_executor(app.runtime, workers=app.workers)
+            audit = audit_run(executor, app.graphs, validate=app.validate)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(audit.report())
+        bad = findings(audit.diagnostics)
+        if bad:
+            print(render_report(bad))
+            return 1
+        return 0
     try:
         if metg_target is not None:
             print(run_metg(app, metg_target))
@@ -174,6 +281,14 @@ app options:
   -metg [TARGET]     sweep problem size and report METG(TARGET) (default 0.5)
   -scenario NAME     use a named application scenario ({scenarios})
   -persistent-imbalance   per-column (persistent) imbalance multipliers
+  --audit            record the schedule and run the happens-before audit
+
+subcommands:
+  check [graph/app options] [-budget SECONDS]
+                     static passes: graph lint, executor-contract lint, and
+                     (for real runtimes) an audited run.
+                     exit codes: 0 clean, 1 findings, 2 usage error
+  check --self       executor-contract lint of this repo's runtimes only
 """
 
 

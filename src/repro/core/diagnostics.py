@@ -1,0 +1,99 @@
+"""Structured diagnostics for the static-analysis passes (``repro.check``).
+
+Every check pass — graph lint, happens-before audit, executor-contract lint —
+reports its findings as :class:`Diagnostic` records rather than raising or
+printing, so callers (the ``task-bench check`` CLI, tests, CI) can filter by
+severity, count findings, and render them uniformly.
+
+Severity semantics:
+
+* ``ERROR``: the configuration or executor violates a contract; running it
+  would produce wrong results, deadlock, or crash.
+* ``WARNING``: suspicious but potentially intentional (e.g. estimated payload
+  memory exceeding the machine spec); findings at this level still fail
+  ``task-bench check``.
+* ``INFO``: advisory metrics (critical-path bound, event counts) that never
+  affect the exit code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity of a diagnostic (higher is worse)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a check pass.
+
+    Attributes
+    ----------
+    severity:
+        How bad the finding is (see module docstring).
+    code:
+        Stable machine-readable identifier, kebab-case, namespaced by pass
+        (e.g. ``graph-cycle``, ``hb-early-publish``, ``api-missing-member``).
+    message:
+        Human-readable statement of what is wrong.
+    location:
+        Where: a task point (``graph 0 (t=3, i=2)``), a file/line
+        (``runtimes/threads.py:42``), or a pass name.
+    hint:
+        Actionable fix suggestion, empty when none applies.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line ``severity code location: message (hint)`` rendering."""
+        loc = f" {self.location}" if self.location else ""
+        hint = f"  [fix: {self.hint}]" if self.hint else ""
+        return f"{self.severity}: [{self.code}]{loc}: {self.message}{hint}"
+
+
+def error(code: str, message: str, location: str = "", hint: str = "") -> Diagnostic:
+    """Shorthand for an ``ERROR`` diagnostic."""
+    return Diagnostic(Severity.ERROR, code, message, location, hint)
+
+
+def warning(code: str, message: str, location: str = "", hint: str = "") -> Diagnostic:
+    """Shorthand for a ``WARNING`` diagnostic."""
+    return Diagnostic(Severity.WARNING, code, message, location, hint)
+
+
+def info(code: str, message: str, location: str = "", hint: str = "") -> Diagnostic:
+    """Shorthand for an ``INFO`` diagnostic."""
+    return Diagnostic(Severity.INFO, code, message, location, hint)
+
+
+def findings(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The subset of ``diagnostics`` that should fail a check run
+    (``WARNING`` and above; ``INFO`` records are advisory)."""
+    return [d for d in diagnostics if d.severity >= Severity.WARNING]
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Severity:
+    """Worst severity present (``INFO`` when the list is empty)."""
+    return max((d.severity for d in diagnostics), default=Severity.INFO)
+
+
+def render_report(diagnostics: Sequence[Diagnostic]) -> str:
+    """Multi-line report: one line per diagnostic, errors first."""
+    ordered = sorted(diagnostics, key=lambda d: (-d.severity, d.code, d.location))
+    return "\n".join(d.render() for d in ordered)

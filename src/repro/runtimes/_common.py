@@ -8,8 +8,10 @@ schedule tasks and route buffers.
 
 from __future__ import annotations
 
+import contextlib
 import threading
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +19,89 @@ from ..core.task_graph import TaskGraph
 
 #: Task key: (graph_index, timestep, column).
 TaskKey = Tuple[int, int, int]
+
+
+# ----------------------------------------------------------------------
+# Event tracing (consumed by repro.check.hb_audit)
+# ----------------------------------------------------------------------
+#: Event kinds recorded by the trace hooks.
+EV_START = "start"  #: a task began executing
+EV_ACQUIRE = "acquire"  #: a task obtained one input buffer (source = producer)
+EV_FINISH = "finish"  #: a task's kernel completed (output fully computed)
+EV_PUBLISH = "publish"  #: a task's output was made visible to consumers
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduling event of one task, recorded in global arrival order.
+
+    ``seq`` is a total order consistent with real time (the recorder holds a
+    lock), ``thread`` identifies the executing thread (the "process" of the
+    vector-clock model), and ``source`` names the producer task for
+    ``acquire`` events.
+    """
+
+    seq: int
+    thread: int
+    kind: str
+    task: TaskKey
+    source: Optional[TaskKey] = None
+
+
+class TraceRecorder:
+    """Thread-safe append-only event log.
+
+    Installed via :func:`tracing`; when no recorder is installed the hooks
+    cost one ``None`` check per event site, keeping the un-audited hot path
+    unaffected.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[TraceEvent] = []
+
+    def record(self, kind: str, task: TaskKey, source: TaskKey | None = None) -> None:
+        with self._lock:
+            self.events.append(
+                TraceEvent(len(self.events), threading.get_ident(), kind, task, source)
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)
+
+
+_active_recorder: TraceRecorder | None = None
+
+
+def trace_recorder() -> TraceRecorder | None:
+    """The currently installed recorder, or ``None`` when tracing is off."""
+    return _active_recorder
+
+
+@contextlib.contextmanager
+def tracing(recorder: TraceRecorder):
+    """Install ``recorder`` as the process-wide trace sink for the duration.
+
+    Process-wide (not thread-local) on purpose: executors spawn worker
+    threads that must all report into the same schedule trace.  Nesting or
+    concurrent audited runs are not supported.
+    """
+    global _active_recorder
+    if _active_recorder is not None:
+        raise RuntimeError("a trace recorder is already installed")
+    _active_recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _active_recorder = None
+
+
+def record_event(kind: str, task: TaskKey, source: TaskKey | None = None) -> None:
+    """Record one event if tracing is active (no-op otherwise)."""
+    rec = _active_recorder
+    if rec is not None:
+        rec.record(kind, task, source)
 
 
 def task_keys(graphs: Sequence[TaskGraph]) -> Iterator[TaskKey]:
@@ -58,6 +143,7 @@ class OutputStore:
         """Store ``value`` to be read by exactly ``consumers`` tasks."""
         if consumers <= 0:
             return
+        record_event(EV_PUBLISH, key)
         with self._lock:
             if key in self._data:
                 raise RuntimeError(f"output for task {key} stored twice")
@@ -82,7 +168,13 @@ class OutputStore:
         """Collect the inputs of task ``(t, i)`` in canonical order."""
         if t == 0:
             return []
-        return [self.take((g.graph_index, t - 1, j)) for j in g.dependency_points(t, i)]
+        consumer = (g.graph_index, t, i)
+        inputs = []
+        for j in g.dependency_points(t, i):
+            source = (g.graph_index, t - 1, j)
+            inputs.append(self.take(source))
+            record_event(EV_ACQUIRE, consumer, source)
+        return inputs
 
     def assert_drained(self) -> None:
         """Raise if any outputs were produced but never fully consumed."""
@@ -132,8 +224,11 @@ def run_point(
     validate: bool,
 ) -> None:
     """Gather inputs, execute one task, and publish its output."""
+    key = (g.graph_index, t, i)
+    record_event(EV_START, key)
     inputs = store.gather(g, t, i)
     out = g.execute_point(
         t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
     )
-    store.put((g.graph_index, t, i), out, consumer_count(g, t, i))
+    record_event(EV_FINISH, key)
+    store.put(key, out, consumer_count(g, t, i))

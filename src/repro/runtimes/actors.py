@@ -22,7 +22,14 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
-from ._common import ScratchPool
+from ._common import (
+    EV_ACQUIRE,
+    EV_FINISH,
+    EV_PUBLISH,
+    EV_START,
+    ScratchPool,
+    record_event,
+)
 
 
 class _Actor:
@@ -134,6 +141,11 @@ class ActorExecutor(Executor):
             with actor.lock:
                 t = actor.next_t
                 inputs = actor.take_inputs()
+            task = (g.graph_index, t, actor.column)
+            record_event(EV_START, task)
+            if t > 0:
+                for j in g.dependency_points(t, actor.column):
+                    record_event(EV_ACQUIRE, task, (g.graph_index, t - 1, j))
             out = g.execute_point(
                 t,
                 actor.column,
@@ -141,7 +153,11 @@ class ActorExecutor(Executor):
                 scratch=scratch.get(g.graph_index, actor.column),
                 validate=validate,
             )
-            for j in g.reverse_dependency_points(t, actor.column):
+            record_event(EV_FINISH, task)
+            consumers = list(g.reverse_dependency_points(t, actor.column))
+            if consumers:
+                record_event(EV_PUBLISH, task)
+            for j in consumers:
                 deliver(actors[(g.graph_index, j)], t + 1, actor.column, out)
             with actor.lock:
                 actor.advance()

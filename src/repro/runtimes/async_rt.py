@@ -16,7 +16,16 @@ from typing import Dict, Sequence
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
-from ._common import ScratchPool, TaskKey, task_keys
+from ._common import (
+    EV_ACQUIRE,
+    EV_FINISH,
+    EV_PUBLISH,
+    EV_START,
+    ScratchPool,
+    TaskKey,
+    record_event,
+    task_keys,
+)
 
 
 class AsyncioExecutor(Executor):
@@ -49,17 +58,20 @@ class AsyncioExecutor(Executor):
 
         async def task(gi: int, t: int, i: int) -> None:
             g = by_index[gi]
-            deps = (
-                [outputs[(gi, t - 1, j)] for j in g.dependency_points(t, i)]
-                if t
-                else []
-            )
-            inputs = [await f for f in deps]
+            key = (gi, t, i)
+            inputs = []
+            if t:
+                for j in g.dependency_points(t, i):
+                    inputs.append(await outputs[(gi, t - 1, j)])
+                    record_event(EV_ACQUIRE, key, (gi, t - 1, j))
             async with sem:  # a core
+                record_event(EV_START, key)
                 out = g.execute_point(
                     t, i, inputs, scratch=scratch.get(gi, i), validate=validate
                 )
-            outputs[(gi, t, i)].set_result(out)
+                record_event(EV_FINISH, key)
+            record_event(EV_PUBLISH, key)
+            outputs[key].set_result(out)
 
         coros = [task(gi, t, i) for gi, t, i in task_keys(graphs)]
         # gather cancels nothing on failure by default with

@@ -24,7 +24,16 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
-from ._common import ScratchPool, TaskKey, task_keys
+from ._common import (
+    EV_ACQUIRE,
+    EV_FINISH,
+    EV_PUBLISH,
+    EV_START,
+    ScratchPool,
+    TaskKey,
+    record_event,
+    task_keys,
+)
 
 
 class FuturesExecutor(Executor):
@@ -51,11 +60,22 @@ class FuturesExecutor(Executor):
         def run_task(
             g: TaskGraph, t: int, i: int, input_futures: List[Future]
         ) -> np.ndarray:
-            inputs = [f.result() for f in input_futures]
-            return g.execute_point(
+            task = (g.graph_index, t, i)
+            record_event(EV_START, task)
+            inputs = []
+            if t:
+                for j, f in zip(g.dependency_points(t, i), input_futures):
+                    inputs.append(f.result())
+                    record_event(EV_ACQUIRE, task, (g.graph_index, t - 1, j))
+            out = g.execute_point(
                 t, i, inputs, scratch=scratch.get(g.graph_index, i),
                 validate=validate,
             )
+            record_event(EV_FINISH, task)
+            # The future resolving (immediately after this return) is the
+            # publication point; record it before the value becomes visible.
+            record_event(EV_PUBLISH, task)
+            return out
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             # Topological submission order (see module docstring).

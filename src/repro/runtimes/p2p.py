@@ -20,7 +20,16 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
-from ._common import OutputStore, ScratchPool, TaskKey
+from ._common import (
+    EV_ACQUIRE,
+    EV_FINISH,
+    EV_PUBLISH,
+    EV_START,
+    OutputStore,
+    ScratchPool,
+    TaskKey,
+    record_event,
+)
 
 
 class _ExecutionFailure:
@@ -181,6 +190,8 @@ class P2PExecutor(Executor):
         scratch: ScratchPool,
         validate: bool,
     ) -> None:
+        task = (g.graph_index, t, i)
+        record_event(EV_START, task)
         inputs = []
         if t > 0:
             for j in g.dependency_points(t, i):
@@ -189,9 +200,11 @@ class P2PExecutor(Executor):
                     inputs.append(local.take(key))
                 else:
                     inputs.append(mailboxes[rank].recv(key))
+                record_event(EV_ACQUIRE, task, key)
         out = g.execute_point(
             t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
         )
+        record_event(EV_FINISH, task)
         self._deliver(rank, g, t, i, out, mailboxes, local)
 
     def _deliver(
@@ -212,6 +225,10 @@ class P2PExecutor(Executor):
             dest = block_owner(j, g.max_width, self.workers)
             per_rank[dest] = per_rank.get(dest, 0) + 1
         key = (g.graph_index, t, i)
+        if any(dest != rank for dest in per_rank):
+            # Remote sends bypass OutputStore.put, so the mailbox path needs
+            # its own publish event (local.put records its own).
+            record_event(EV_PUBLISH, key)
         for dest, consumers in per_rank.items():
             if dest == rank:
                 local.put(key, out, consumers)

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
-from ._common import OutputStore, consumer_count
+from ._common import EV_FINISH, EV_START, OutputStore, consumer_count, record_event
 
 # Per-process caches, initialized lazily inside workers.
 _WORKER_GRAPHS: Dict[int, TaskGraph] = {}
@@ -95,6 +95,11 @@ class ProcessPoolExecutor(Executor):
                 ):
                     g = next(gr for gr in graphs if gr.graph_index == gi)
                     for i, out in results:
+                        # Kernels ran in worker processes; their start/finish
+                        # are surfaced here, once the result has crossed back
+                        # — the earliest point the trace can order them.
+                        record_event(EV_START, (gi, tt, i))
+                        record_event(EV_FINISH, (gi, tt, i))
                         store.put((gi, tt, i), out, consumer_count(g, tt, i))
         store.assert_drained()
 

@@ -40,7 +40,13 @@ class DependencyCountingScheduler:
                     self.pending[key] = ndeps
 
     def next_task(self) -> TaskKey | None:
-        """Block until a task is ready; ``None`` when the DAG is complete."""
+        """Block until a task is ready; ``None`` when the DAG is complete.
+
+        The wait is purely event-driven: every state change (``complete``
+        enqueueing ready tasks or retiring the last one, ``fail`` recording
+        an error) broadcasts on ``ready_cv``, so idle workers wake and exit
+        promptly on failure instead of relying on a polling timeout or
+        daemon-thread teardown."""
         with self.ready_cv:
             while True:
                 if self.error is not None:
@@ -49,7 +55,7 @@ class DependencyCountingScheduler:
                     return self.ready.popleft()
                 if self.remaining == 0:
                     return None
-                self.ready_cv.wait(timeout=0.05)
+                self.ready_cv.wait()
 
     def complete(self, g: TaskGraph, t: int, i: int) -> None:
         """Record completion and release any newly-ready consumers."""

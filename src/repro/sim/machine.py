@@ -38,6 +38,10 @@ class MachineSpec:
     mem_bw_saturation_cores:
         Number of cores needed to saturate memory bandwidth (paper §5.2:
         "not all cores are required to saturate memory bandwidth").
+    memory_per_node:
+        DRAM capacity per node in bytes (Cori Haswell: 128 GB).  Used by
+        the static graph lint to flag configurations whose live payload
+        frontier cannot fit in memory.
     """
 
     nodes: int = 1
@@ -45,6 +49,7 @@ class MachineSpec:
     flops_per_core: float = 39.4e9  # 1.26 TFLOP/s / 32 cores (Cori Haswell)
     mem_bw_per_node: float = 79e9  # measured STREAM-like peak on Cori
     mem_bw_saturation_cores: int = 16
+    memory_per_node: float = 128e9  # Cori Haswell DRAM per node
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -57,6 +62,8 @@ class MachineSpec:
             raise ValueError("peak rates must be positive")
         if self.mem_bw_saturation_cores < 1:
             raise ValueError("mem_bw_saturation_cores must be >= 1")
+        if self.memory_per_node <= 0:
+            raise ValueError("memory_per_node must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +80,11 @@ class MachineSpec:
     def peak_bytes_per_second(self) -> float:
         """Machine-wide peak memory bandwidth."""
         return self.nodes * self.mem_bw_per_node
+
+    @property
+    def total_memory(self) -> float:
+        """Machine-wide DRAM capacity in bytes."""
+        return self.nodes * self.memory_per_node
 
     def with_nodes(self, nodes: int) -> "MachineSpec":
         """Same node architecture, different node count (scaling studies)."""

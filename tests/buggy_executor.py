@@ -1,0 +1,133 @@
+"""Seeded-bug executors exercising the happens-before audit.
+
+Both executors below produce *bytewise-correct* outputs — input validation
+passes on every task — while violating the scheduling contract in ways only
+the schedule audit (:mod:`repro.check.hb_audit`) can see:
+
+* :class:`DroppedEdgeExecutor` silently drops one dependence edge and
+  substitutes the deterministic expected bytes for the missing input.  The
+  values are "lucky" — identical to what the real producer computed — so
+  validation cannot object, but the consumer never synchronized with its
+  producer (``hb-missing-acquire``).
+* :class:`EarlyPublishExecutor` publishes each task's output *before*
+  running its kernel, again using the deterministic expected bytes.
+  Consumers validate clean, but the publish precedes the producer's finish
+  (``hb-early-publish``): on a concurrent schedule they could observe an
+  incomplete buffer.
+
+They live in ``tests/`` because no real configuration should ever construct
+them; they are audit fixtures, not runtimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import validation
+from repro.core.executor_base import Executor
+from repro.core.task_graph import TaskGraph
+from repro.runtimes._common import (
+    EV_ACQUIRE,
+    EV_FINISH,
+    EV_PUBLISH,
+    EV_START,
+    ScratchPool,
+    TaskKey,
+    consumer_count,
+    record_event,
+    task_keys,
+)
+
+
+def pick_victim(graphs: Sequence[TaskGraph]) -> Optional[TaskKey]:
+    """The last task (program order) with at least one dependency."""
+    victim: Optional[TaskKey] = None
+    by_index = {g.graph_index: g for g in graphs}
+    for gi, t, i in task_keys(graphs):
+        if by_index[gi].num_dependencies(t, i) > 0:
+            victim = (gi, t, i)
+    return victim
+
+
+class DroppedEdgeExecutor(Executor):
+    """Serial executor that drops one dependence edge of one task.
+
+    For the victim task's first dependency it never reads the producer's
+    buffer; it fabricates the bytewise-identical expected output instead, so
+    validation passes while the happens-before edge is gone.
+    """
+
+    name = "buggy-dropped-edge"
+    cores = 1
+
+    def __init__(self) -> None:
+        #: The task whose first edge was dropped (set by execute_graphs).
+        self.victim: Optional[TaskKey] = None
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        by_index = {g.graph_index: g for g in graphs}
+        store: Dict[TaskKey, np.ndarray] = {}
+        scratch = ScratchPool(graphs)
+        self.victim = pick_victim(graphs)
+        for gi, t, i in task_keys(graphs):
+            g = by_index[gi]
+            key = (gi, t, i)
+            record_event(EV_START, key)
+            inputs: List[np.ndarray] = []
+            for n, j in enumerate(g.dependency_points(t, i)):
+                source = (gi, t - 1, j)
+                if key == self.victim and n == 0:
+                    # The bug: no synchronization with the producer, just
+                    # the right bytes by construction.
+                    inputs.append(validation.task_output(g, t - 1, j))
+                    continue
+                inputs.append(store[source])
+                record_event(EV_ACQUIRE, key, source)
+            out = g.execute_point(
+                t, i, inputs, scratch=scratch.get(gi, i), validate=validate
+            )
+            record_event(EV_FINISH, key)
+            if consumer_count(g, t, i) > 0:
+                store[key] = out
+                record_event(EV_PUBLISH, key)
+
+
+class EarlyPublishExecutor(Executor):
+    """Serial executor that publishes outputs before computing them.
+
+    The published buffer holds the deterministic expected bytes, so every
+    consumer validates clean — but the publish is ordered before the
+    producer's finish, the textbook shape of a buffer-reuse race.
+    """
+
+    name = "buggy-early-publish"
+    cores = 1
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        by_index = {g.graph_index: g for g in graphs}
+        store: Dict[TaskKey, np.ndarray] = {}
+        scratch = ScratchPool(graphs)
+        for gi, t, i in task_keys(graphs):
+            g = by_index[gi]
+            key = (gi, t, i)
+            record_event(EV_START, key)
+            inputs: List[np.ndarray] = []
+            for j in g.dependency_points(t, i):
+                source = (gi, t - 1, j)
+                inputs.append(store[source])
+                record_event(EV_ACQUIRE, key, source)
+            if consumer_count(g, t, i) > 0:
+                # The bug: hand consumers the (luckily correct) bytes
+                # before the kernel has produced them.
+                store[key] = validation.task_output(g, t, i)
+                record_event(EV_PUBLISH, key)
+            g.execute_point(
+                t, i, inputs, scratch=scratch.get(gi, i), validate=validate
+            )
+            record_event(EV_FINISH, key)

@@ -1,0 +1,216 @@
+"""Tests for the executor-contract lint (repro.check.api_lint)."""
+
+import textwrap
+
+from repro.check import lint_executor_api, lint_runtime_sources
+from repro.core.diagnostics import findings
+
+
+def lint(source):
+    return lint_executor_api(textwrap.dedent(source), "fake.py")
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+CLEAN = """
+    from repro.core.executor_base import Executor
+
+    class GoodExecutor(Executor):
+        name = "good"
+        cores = 1
+
+        def execute_graphs(self, graphs, *, validate=True):
+            for g in graphs:
+                pass
+"""
+
+
+def test_clean_executor_passes():
+    assert lint(CLEAN) == []
+
+
+def test_missing_members_reported():
+    diags = lint("""
+        class BareExecutor(Executor):
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+    """)
+    assert codes(diags) == {"api-missing-member"}
+    missing = {d.message.split("'")[1] for d in diags}
+    assert missing == {"name", "cores"}
+
+
+def test_cores_as_property_counts():
+    diags = lint("""
+        class PropExecutor(Executor):
+            name = "prop"
+
+            @property
+            def cores(self):
+                return 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+    """)
+    assert diags == []
+
+
+def test_kernel_bypass_function_reported():
+    diags = lint("""
+        class SneakyExecutor(Executor):
+            name = "sneaky"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                execute_kernel_compute(100)
+    """)
+    assert "api-kernel-bypass" in codes(diags)
+
+
+def test_kernel_bypass_method_reported():
+    diags = lint("""
+        class SneakyExecutor(Executor):
+            name = "sneaky"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                for g in graphs:
+                    g.kernel.execute(t=0, i=0)
+    """)
+    assert "api-kernel-bypass" in codes(diags)
+
+
+def test_unrelated_execute_call_not_flagged():
+    diags = lint("""
+        class FineExecutor(Executor):
+            name = "fine"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                pool.execute(job)
+    """)
+    assert "api-kernel-bypass" not in codes(diags)
+
+
+def test_timing_call_reported():
+    diags = lint("""
+        import time
+
+        class TimedExecutor(Executor):
+            name = "timed"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                t0 = time.perf_counter()
+    """)
+    assert "api-timing" in codes(diags)
+
+
+def test_timing_waiver_honored():
+    diags = lint("""
+        import time
+
+        class OverheadExecutor(Executor):
+            name = "overhead"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                t0 = time.perf_counter()  # check: allow[timing]
+    """)
+    assert "api-timing" not in codes(diags)
+
+
+def test_timing_outside_executor_not_flagged():
+    diags = lint("""
+        import time
+
+        def helper():
+            return time.perf_counter()
+    """)
+    assert diags == []
+
+
+def test_unlocked_shared_mutation_reported():
+    diags = lint("""
+        class RacyExecutor(Executor):
+            name = "racy"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                ready = []
+
+                def worker():
+                    ready.append(1)
+    """)
+    bad = [d for d in diags if d.code == "api-unlocked-mutation"]
+    assert bad and "'ready'" in bad[0].message
+
+
+def test_locked_shared_mutation_passes():
+    diags = lint("""
+        import threading
+
+        class SafeExecutor(Executor):
+            name = "safe"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                lock = threading.Lock()
+                ready = []
+
+                def worker():
+                    with lock:
+                        ready.append(1)
+    """)
+    assert "api-unlocked-mutation" not in codes(diags)
+
+
+def test_local_container_mutation_passes():
+    diags = lint("""
+        class LocalExecutor(Executor):
+            name = "local"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                def worker():
+                    mine = []
+                    mine.append(1)
+    """)
+    assert "api-unlocked-mutation" not in codes(diags)
+
+
+def test_shared_mutation_waiver_honored():
+    diags = lint("""
+        class WaivedExecutor(Executor):
+            name = "waived"
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                ready = []
+
+                def worker():
+                    ready.append(1)  # check: allow[shared-mutation]
+    """)
+    assert "api-unlocked-mutation" not in codes(diags)
+
+
+def test_syntax_error_reported():
+    diags = lint_executor_api("def broken(:\n", "fake.py")
+    assert codes(diags) == {"api-syntax"}
+    assert diags[0].location.startswith("fake.py:")
+
+
+def test_locations_carry_file_and_line():
+    diags = lint("""
+        class BareExecutor(Executor):
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+    """)
+    assert all(d.location.startswith("fake.py:") for d in diags)
+
+
+def test_repo_runtimes_pass_clean():
+    """The CI gate: this repo's own executors honor their contract."""
+    assert findings(lint_runtime_sources()) == []

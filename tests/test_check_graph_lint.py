@@ -1,0 +1,155 @@
+"""Tests for the static task-graph lint (repro.check.graph_lint)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import critical_path_seconds, lint_graphs, peak_payload_bytes
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.core.diagnostics import Severity, findings
+from repro.sim.machine import MachineSpec
+
+
+def make_graph(**kw):
+    base = dict(
+        timesteps=6,
+        max_width=4,
+        dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=64),
+        output_bytes_per_task=16,
+    )
+    base.update(kw)
+    return TaskGraph(**base)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+# ----------------------------------------------------------------------
+# Broken-by-construction graphs, one per finding class
+# ----------------------------------------------------------------------
+class _DroppedConsumerGraph(TaskGraph):
+    """Stencil whose producer (2, 1) forgets to release consumer column 1.
+
+    The shape of bug graph_lint exists to catch statically: ``dependencies``
+    and ``reverse_dependencies`` silently disagree, so a real executor's
+    dependency counter never reaches zero and the run hangs.
+    """
+
+    def reverse_dependency_points(self, t, i):
+        for j in super().reverse_dependency_points(t, i):
+            if (t, i) == (2, 1) and j == 1:
+                continue
+            yield j
+
+
+class _LyingCountGraph(TaskGraph):
+    """Reports one more dependency per task than its intervals cover."""
+
+    def num_dependencies(self, t, i):
+        return super().num_dependencies(t, i) + 1
+
+
+def test_duality_break_reported():
+    diags = lint_graphs([_DroppedConsumerGraph(timesteps=6, max_width=4,
+                                               dependence=DependenceType.STENCIL_1D)])
+    found = codes(findings(diags))
+    assert "graph-duality" in found
+    by_code = {d.code: d for d in diags}
+    assert "(t=2, i=1)" in by_code["graph-duality"].message  # the producer
+    assert "(t=3, i=1)" in by_code["graph-duality"].location  # the consumer
+    assert by_code["graph-duality"].hint  # every finding is actionable
+
+
+def test_broken_duality_deadlocks_replay():
+    diags = lint_graphs([_DroppedConsumerGraph(timesteps=6, max_width=4,
+                                               dependence=DependenceType.STENCIL_1D)])
+    cycle = [d for d in diags if d.code == "graph-cycle"]
+    assert cycle and cycle[0].severity is Severity.ERROR
+    assert "deadlocked" in cycle[0].message
+
+
+def test_dep_count_mismatch_reported():
+    diags = lint_graphs([_LyingCountGraph(timesteps=4, max_width=3,
+                                          dependence=DependenceType.STENCIL_1D)])
+    assert "graph-dep-count" in codes(findings(diags))
+
+
+def test_memory_overcommit_warned():
+    tiny = MachineSpec(nodes=1, cores_per_node=4, memory_per_node=1024.0)
+    g = make_graph(output_bytes_per_task=4096)
+    diags = lint_graphs([g], tiny)
+    over = [d for d in diags if d.code == "graph-memory-overcommit"]
+    assert over and over[0].severity is Severity.WARNING
+    assert f"{peak_payload_bytes([g]):,}" in over[0].message
+
+
+def test_memory_fits_no_warning():
+    diags = lint_graphs([make_graph()], MachineSpec())
+    assert "graph-memory-overcommit" not in codes(diags)
+
+
+def test_infeasible_critical_path_reported():
+    g = make_graph(kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND,
+                                 iterations=1 << 20))
+    diags = lint_graphs([g], time_budget_seconds=1e-30)
+    assert "graph-infeasible" in codes(findings(diags))
+    # with a generous budget the same graph is feasible
+    diags = lint_graphs([g], time_budget_seconds=1e9)
+    assert "graph-infeasible" not in codes(diags)
+
+
+def test_critical_path_info_always_emitted():
+    diags = lint_graphs([make_graph()])
+    cp = [d for d in diags if d.code == "graph-critical-path"]
+    assert cp and cp[0].severity is Severity.INFO
+    assert not findings(cp)  # advisory: never fails a check run
+
+
+def test_critical_path_grows_with_depth():
+    machine = MachineSpec()
+    short = critical_path_seconds([make_graph(timesteps=4)], machine)
+    long = critical_path_seconds([make_graph(timesteps=8)], machine)
+    assert long > short > 0.0
+
+
+def test_critical_path_is_max_over_concurrent_graphs():
+    machine = MachineSpec()
+    a = make_graph(timesteps=4)
+    b = make_graph(timesteps=8, graph_index=1)
+    assert critical_path_seconds([a, b], machine) == \
+        critical_path_seconds([b], machine)
+
+
+def test_clean_multi_graph_config_passes():
+    graphs = [
+        make_graph(),
+        make_graph(dependence=DependenceType.NEAREST, radix=3, graph_index=1),
+        make_graph(dependence=DependenceType.FFT, max_width=8, graph_index=2),
+    ]
+    assert findings(lint_graphs(graphs)) == []
+
+
+# ----------------------------------------------------------------------
+# Property: the lint passes on every well-formed generated configuration
+# ----------------------------------------------------------------------
+graph_configs = st.builds(
+    TaskGraph,
+    timesteps=st.integers(min_value=1, max_value=8),
+    max_width=st.integers(min_value=1, max_value=12),
+    dependence=st.sampled_from(list(DependenceType)),
+    radix=st.integers(min_value=1, max_value=5),
+    period=st.sampled_from([-1, 1, 2, 3]),
+    fraction_connected=st.floats(min_value=0.0, max_value=1.0,
+                                 allow_nan=False),
+    output_bytes_per_task=st.sampled_from([0, 16, 256]),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_configs)
+def test_lint_clean_on_generated_configs(g):
+    """Every graph the library can construct is well-formed by construction:
+    duality holds, the replay retires every task, counts agree."""
+    assert findings(lint_graphs([g])) == []

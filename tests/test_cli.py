@@ -150,6 +150,75 @@ class TestScenarioFlag:
         assert "METG(50%)" in out
 
 
+class TestCheckSubcommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage error."""
+
+    def test_check_self_clean(self, capsys):
+        assert main(["check", "--self"]) == 0
+        assert "check: 0 finding(s)" in capsys.readouterr().out
+
+    def test_check_real_runtime_clean(self, capsys):
+        rc = main(["check", "-steps", "5", "-width", "3",
+                   "-type", "stencil_1d", "-runtime", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "graph-critical-path" in out  # advisory bound always printed
+        assert "hb-trace" in out  # the audited run happened
+
+    def test_check_sim_runtime_skips_audit(self, capsys):
+        rc = main(["check", "-steps", "5", "-width", "3",
+                   "-runtime", "sim:mpi_p2p"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hb-trace" not in out
+
+    def test_check_findings_exit_1(self, capsys):
+        rc = main(["check", "-steps", "5", "-width", "3",
+                   "-kernel", "compute_bound", "-iter", "65536",
+                   "-runtime", "serial", "-budget", "1e-30"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "graph-infeasible" in out
+        assert "check: 1 finding(s)" in out
+
+    def test_check_self_rejects_extra_args(self, capsys):
+        assert main(["check", "--self", "-steps", "5"]) == 2
+        assert "no further arguments" in capsys.readouterr().err
+
+    def test_check_budget_missing_value(self, capsys):
+        assert main(["check", "-budget"]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_check_budget_not_a_number(self, capsys):
+        assert main(["check", "-budget", "soon"]) == 2
+        assert "number" in capsys.readouterr().err
+
+    def test_check_bad_graph_flags(self, capsys):
+        assert main(["check", "-frobnicate"]) == 2
+
+
+class TestAuditFlag:
+    def test_audit_clean_run(self, capsys):
+        rc = main(["-steps", "5", "-width", "3", "-type", "stencil_1d",
+                   "-runtime", "threads", "-workers", "2", "--audit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Audit clean" in out
+        assert "Total Tasks 15" in out  # the normal report still prints
+
+    def test_audit_with_metg_is_error(self, capsys):
+        rc = main(["-steps", "5", "-width", "3", "-runtime", "threads",
+                   "-metg", "--audit"])
+        assert rc == 2
+        assert "--audit requires" in capsys.readouterr().err
+
+    def test_audit_with_simulator_is_error(self, capsys):
+        rc = main(["-steps", "5", "-width", "3", "-runtime", "sim:mpi_p2p",
+                   "--audit"])
+        assert rc == 2
+        assert "--audit requires" in capsys.readouterr().err
+
+
 class TestRunConfig:
     def test_sim_default_cores(self):
         app = parse_args(["-steps", "5", "-width", "32",

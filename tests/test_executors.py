@@ -138,6 +138,34 @@ def test_kernel_exception_propagates(runtime, monkeypatch):
         make_executor(runtime, workers=2).run([g])
 
 
+def test_threads_failure_wakes_blocked_workers(monkeypatch):
+    """Regression: the thread pool's ready wait is purely event-driven, so a
+    worker failure must broadcast on ready_cv for blocked idle workers to
+    wake and exit — here three of four workers are parked on an empty ready
+    queue (width-1 chain) when the fourth one's kernel raises."""
+    import threading
+    import time
+
+    def boom(self, t=0, i=0, scratch=None, seed=0):
+        if t == 2:
+            raise RuntimeError("injected kernel failure")
+
+    monkeypatch.setattr(Kernel, "execute", boom)
+    g = make_graph(DependenceType.STENCIL_1D, max_width=1)
+    start = time.perf_counter()
+    with pytest.raises(RuntimeError, match="injected kernel failure"):
+        make_executor("threads", workers=4).run([g])
+    assert time.perf_counter() - start < 2.0  # no polling-timeout stalls
+    deadline = time.perf_counter() + 2.0
+    while time.perf_counter() < deadline:
+        if not any(th.name.startswith("task-worker")
+                   for th in threading.enumerate()):
+            break
+        time.sleep(0.01)
+    else:
+        raise AssertionError("idle workers never exited after the failure")
+
+
 @pytest.mark.parametrize("runtime", ALL_RUNTIMES)
 def test_run_result_fields(runtime):
     g = make_graph(DependenceType.STENCIL_1D, timesteps=4)
