@@ -18,6 +18,21 @@ invariants statically, without importing the modules:
   (enclosing-scope) containers must be lexically inside a ``with`` block —
   the idiom every executor here uses for lock-protected scheduler state.
   Waivable with ``# check: allow[shared-mutation]``.
+* ``api-raw-shm``: runtime modules must not construct
+  ``multiprocessing.shared_memory.SharedMemory`` segments directly; segment
+  lifecycle (creation, generation tagging, unlinking) belongs to
+  :mod:`repro.core.bufpool`, whose pools are the only owners the leak
+  checks cover.  Waivable with ``# check: allow[raw-shm]``.
+* ``api-ref-leak``: a runtime module that acquires pool handles
+  (``.acquire()`` / ``.acquire_batch()`` on a pool-named receiver) must
+  also release them somewhere (``.decref()`` / ``.decref_batch()`` /
+  ``.close()``) — acquire-only modules leak slots by construction.
+  Waivable with ``# check: allow[ref-leak]``.
+
+Executor classes are recognized transitively: a class subclassing another
+executor class *in the same module* inherits its contract members, and
+private (``_``-prefixed) executor bases are abstract — they contribute
+members to subclasses but need not be complete themselves.
 
 ``task-bench check --self`` runs this lint over the repo's own runtimes and
 must pass clean; it is wired into CI so every hot-path change is gated.
@@ -27,7 +42,7 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Set
 
 from ..core.diagnostics import Diagnostic, error
 
@@ -60,13 +75,41 @@ def _waivers(source: str) -> Dict[int, Set[str]]:
     return out
 
 
-def _is_executor_class(node: ast.ClassDef) -> bool:
+def _base_names(node: ast.ClassDef) -> List[str]:
+    out: List[str] = []
     for base in node.bases:
-        if isinstance(base, ast.Name) and base.id == "Executor":
-            return True
-        if isinstance(base, ast.Attribute) and base.attr == "Executor":
-            return True
-    return False
+        if isinstance(base, ast.Name):
+            out.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            out.append(base.attr)
+    return out
+
+
+def _executor_classes(module: ast.Module) -> List[ast.ClassDef]:
+    """Executor subclasses of the module, found transitively: subclassing
+    ``Executor`` directly, or subclassing another executor class defined in
+    the same module."""
+    classes = [n for n in module.body if isinstance(n, ast.ClassDef)]
+    executor_like: Set[str] = {"Executor"}
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in executor_like:
+                continue
+            if any(b in executor_like for b in _base_names(cls)):
+                executor_like.add(cls.name)
+                changed = True
+    return [c for c in classes if c.name in executor_like]
+
+
+#: Receivers the ``api-ref-leak`` pairing rule applies to: pool handles are
+#: acquired from objects whose names say so (``pool``, ``buffers``,
+#: ``slab``...); bare ``lock.acquire()`` is not a pool acquisition.
+_POOLISH = ("pool", "buf", "slab")
+
+#: Pool-handle release calls that balance an ``acquire``.
+_RELEASE_METHODS = {"decref", "decref_batch", "close"}
 
 
 def _call_name(func: ast.expr) -> str:
@@ -137,33 +180,82 @@ class _FileLinter:
 
     # ------------------------------------------------------------------
     def run(self) -> List[Diagnostic]:
+        first_acquire: ast.Call | None = None
+        releases = False
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Call):
                 self._check_kernel_bypass(node)
-        for node in self.tree.body:
-            if isinstance(node, ast.ClassDef) and _is_executor_class(node):
-                self._check_members(node)
-                self._check_timing(node)
-                for item in node.body:
+                self._check_raw_shm(node)
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    receiver = _root_name(func.value) or ""
+                    poolish = any(p in receiver.lower() for p in _POOLISH)
                     if (
-                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-                        and item.name == "execute_graphs"
+                        func.attr in ("acquire", "acquire_batch")
+                        and poolish
+                        and first_acquire is None
+                        and not self._waived(node, "ref-leak")
                     ):
-                        self._check_shared_mutation(item)
+                        first_acquire = node
+                    elif func.attr in _RELEASE_METHODS and poolish:
+                        releases = True
+        if first_acquire is not None and not releases:
+            self.out.append(
+                error(
+                    "api-ref-leak",
+                    "module acquires pool handles but never releases any "
+                    "(no decref/decref_batch/close on a pool); slots leak "
+                    "by construction",
+                    self._loc(first_acquire),
+                    "pair every pool.acquire with a decref (or close the "
+                    "pool), or waive with '# check: allow[ref-leak]'",
+                )
+            )
+        module_classes = {
+            n.name: n for n in self.tree.body if isinstance(n, ast.ClassDef)
+        }
+        for node in _executor_classes(self.tree):
+            if not node.name.startswith("_"):  # private bases are abstract
+                self._check_members(node, module_classes)
+            self._check_timing(node)
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "execute_graphs"
+                ):
+                    self._check_shared_mutation(item)
         return self.out
 
     # ------------------------------------------------------------------
-    def _check_members(self, cls: ast.ClassDef) -> None:
+    def _check_members(
+        self, cls: ast.ClassDef, module_classes: Dict[str, ast.ClassDef]
+    ) -> None:
+        def own_members(node: ast.ClassDef) -> Set[str]:
+            have: Set[str] = set()
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    have.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    for t in item.targets:
+                        if isinstance(t, ast.Name):
+                            have.add(t.id)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    have.add(item.target.id)
+            return have
+
         have: Set[str] = set()
-        for item in cls.body:
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                have.add(item.name)
-            elif isinstance(item, ast.Assign):
-                for t in item.targets:
-                    if isinstance(t, ast.Name):
-                        have.add(t.id)
-            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
-                have.add(item.target.id)
+        seen: Set[str] = set()
+        stack = [cls.name]
+        while stack:  # members inherited from same-module bases count
+            name = stack.pop()
+            if name in seen or name not in module_classes:
+                continue
+            seen.add(name)
+            node = module_classes[name]
+            have |= own_members(node)
+            stack.extend(_base_names(node))
         for member in ("name", "cores", "execute_graphs"):
             if member not in have:
                 self.out.append(
@@ -202,6 +294,22 @@ class _FileLinter:
                         "instead",
                     )
                 )
+
+    def _check_raw_shm(self, call: ast.Call) -> None:
+        if _call_name(call.func) == "SharedMemory" and not self._waived(
+            call, "raw-shm"
+        ):
+            self.out.append(
+                error(
+                    "api-raw-shm",
+                    "direct SharedMemory() construction in a runtime; "
+                    "segment lifecycle (creation, generation tags, "
+                    "unlinking) belongs to repro.core.bufpool",
+                    self._loc(call),
+                    "acquire slots from a SharedMemorySlabPool, or waive "
+                    "with '# check: allow[raw-shm]'",
+                )
+            )
 
     def _check_timing(self, cls: ast.ClassDef) -> None:
         for node in ast.walk(cls):

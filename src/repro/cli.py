@@ -177,6 +177,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if flag in args:
             args.remove(flag)
             audit_enabled = True
+    # --report: append the data-plane counters to the run report.
+    report_enabled = False
+    for flag in ("--report", "-report"):
+        if flag in args:
+            args.remove(flag)
+            report_enabled = True
     # -scenario NAME replaces the graph flags with a named application
     # scenario (repro.core.scenarios); -width/-steps/-iter still apply.
     scenario_name: str | None = None
@@ -245,13 +251,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     try:
         if metg_target is not None:
+            if report_enabled:
+                print("error: --report applies to single runs, not -metg sweeps",
+                      file=sys.stderr)
+                return 2
             print(run_metg(app, metg_target))
             return 0
         result = run_config(app)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    print(result.report())
+    print(result.report(data_plane=report_enabled))
     return 0
 
 
@@ -282,6 +292,8 @@ app options:
   -scenario NAME     use a named application scenario ({scenarios})
   -persistent-imbalance   per-column (persistent) imbalance multipliers
   --audit            record the schedule and run the happens-before audit
+  --report           append data-plane counters (bytes copied/shared, pool
+                     hit rate) to the run report
 
 subcommands:
   check [graph/app options] [-budget SECONDS]

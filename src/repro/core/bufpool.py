@@ -1,0 +1,512 @@
+"""Reference-counted slab buffer pools and the :class:`PayloadRef` handle.
+
+The paper's C++ shims pass task payloads by pointer; the Python executors
+historically pickled every input and output across thread and process
+boundaries, which inflates measured runtime overhead by orders of magnitude
+exactly in the sub-millisecond granularity regime METG probes (TaskTorrent
+and the AMT Task Bench study both show communication-layer copies swamping
+scheduler overhead there).  This module is the zero-copy data plane that
+removes those copies:
+
+* a **slab pool** hands out fixed-capacity *slots* carved from large slabs,
+  grouped into power-of-two size classes and recycled through per-class free
+  lists, so steady-state acquisition is a pop/push instead of an allocation;
+* every slot is addressed through a :class:`PayloadRef` — a small, picklable
+  handle carrying a **generation tag**.  Releasing a slot bumps its
+  generation, so any stale handle (use-after-release) raises
+  :class:`StaleHandleError` instead of silently reading recycled bytes;
+* slots are **reference counted**: a producer acquires a slot with one
+  reference per consumer, each consumer drops its reference after reading,
+  and the slot returns to the free list exactly when the last reader is
+  done.
+
+Two backings share the same interface:
+
+* :class:`HeapSlabPool` — in-heap numpy slabs for same-address-space
+  executors (thread pools recycle output buffers per timestep instead of
+  reallocating them);
+* :class:`SharedMemorySlabPool` — ``multiprocessing.shared_memory`` slabs
+  for cross-process executors.  Handles cross the process boundary as a few
+  machine words; payload bytes never do.  Each shared slot carries its
+  generation tag *in the shared segment itself* (an 8-byte header), so even
+  a forked worker whose Python-side pool state is a stale snapshot detects
+  use-after-release.
+
+Pools register themselves in a process-wide registry at construction so a
+bare :func:`as_array` call — e.g. inside
+:meth:`~repro.core.task_graph.TaskGraph.execute_point` — can resolve a
+handle without threading the pool object through every call site.  Workers
+forked *after* pool construction inherit the registry; segments created
+after the fork are attached lazily by name.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Payload bytes live behind either a raw array or a pool handle.
+Payload = Union[np.ndarray, "PayloadRef"]
+
+#: Smallest slot capacity: one validation header's worth of bytes.
+MIN_SLOT_BYTES = 32
+
+#: Per-slot generation header size in shared-memory slabs.
+GEN_HEADER_BYTES = 8
+
+#: Target slab size; slabs hold many slots to amortize segment creation.
+SLAB_BYTES = 1 << 20
+
+#: Cap on slots per slab: slot views are materialized eagerly at growth
+#: time, and tiny size classes would otherwise mint tens of thousands of
+#: views per 1 MiB slab (a multi-millisecond stall on the hot path).
+MAX_SLOTS_PER_SLAB = 256
+
+
+class StaleHandleError(RuntimeError):
+    """A :class:`PayloadRef` was resolved after its slot was released (or
+    its pool closed).  Generation tags exist to turn use-after-release —
+    otherwise a silent read of recycled bytes — into this loud failure."""
+
+
+class PoolClosedError(RuntimeError):
+    """An operation was attempted on a closed pool."""
+
+
+@dataclass(frozen=True)
+class PayloadRef:
+    """A small, picklable handle to one pooled payload buffer.
+
+    Attributes
+    ----------
+    pool:
+        Registry id of the owning pool (see :func:`as_array`).
+    slot:
+        Slot index inside the pool.
+    generation:
+        Generation tag the slot had when this handle was issued; resolving
+        the handle after the slot was recycled raises
+        :class:`StaleHandleError`.
+    nbytes:
+        Length of the payload (may be smaller than the slot capacity).
+    segment:
+        Name of the backing shared-memory segment (empty for heap slots).
+    offset:
+        Byte offset of the payload inside the segment (past the generation
+        header for shared slots).
+    """
+
+    pool: int
+    slot: int
+    generation: int
+    nbytes: int
+    segment: str = ""
+    offset: int = 0
+
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[int, int, int, int, str, int]]:
+        # Handles are pickled once per payload per hop; the positional-tuple
+        # protocol is ~3x faster than dataclass state pickling.
+        return (
+            PayloadRef,
+            (self.pool, self.slot, self.generation, self.nbytes,
+             self.segment, self.offset),
+        )
+
+
+@dataclass
+class PoolStats:
+    """Data-plane accounting of one pool (merged into
+    :class:`~repro.core.metrics.DataPlaneStats` by executors)."""
+
+    acquires: int = 0
+    hits: int = 0  #: free-list reuses (no new slab memory touched)
+    misses: int = 0  #: acquisitions that had to grow a slab
+    bytes_shared: int = 0  #: payload bytes routed through pool slots
+    peak_live: int = 0  #: maximum simultaneously-live slots
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.acquires if self.acquires else 0.0
+
+
+# ----------------------------------------------------------------------
+# Process-wide pool registry
+# ----------------------------------------------------------------------
+_pool_ids = itertools.count(1)
+_POOLS: Dict[int, "SlabPool"] = {}
+
+
+def size_class(nbytes: int) -> int:
+    """Slot capacity for a payload of ``nbytes``: next power of two, at
+    least :data:`MIN_SLOT_BYTES`."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    cap = MIN_SLOT_BYTES
+    while cap < nbytes:
+        cap <<= 1
+    return cap
+
+
+def as_array(payload: Payload) -> np.ndarray:
+    """Coerce a payload — raw array or pool handle — to a ``uint8`` view.
+
+    This is the single indirection point that lets
+    :meth:`TaskGraph.execute_point` and validation accept
+    :class:`PayloadRef` wherever they accept ``np.ndarray``.
+    """
+    if isinstance(payload, PayloadRef):
+        pool = _POOLS.get(payload.pool)
+        if pool is not None:
+            return pool.resolve(payload)
+        if payload.segment:
+            return _resolve_foreign(payload)
+        raise StaleHandleError(
+            f"handle {payload} references pool {payload.pool}, which is not "
+            "registered in this process (closed, or a heap-backed handle "
+            "crossed a process boundary)"
+        )
+    return payload
+
+
+class SlabPool:
+    """Reference-counted slab allocator (base class; see module docstring).
+
+    Thread-safe: thread-pool executors acquire and release slots from
+    worker threads concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self.pool_id = next(_pool_ids)
+        self.stats = PoolStats()
+        # Parallel per-slot arrays.
+        self._views: List[np.ndarray] = []  # full-capacity payload views
+        self._capacity: List[int] = []
+        self._generation: List[int] = []
+        self._refcount: List[int] = []
+        self._segment_of: List[str] = []
+        self._offset_of: List[int] = []
+        self._free: Dict[int, List[int]] = {}  # capacity -> free slot ids
+        self._live = 0
+        _POOLS[self.pool_id] = self
+
+    # -- backing-specific hooks ----------------------------------------
+    def _grow(self, capacity: int) -> None:
+        """Create a slab of ``capacity``-sized slots and push them onto the
+        free list (backing-specific)."""
+        raise NotImplementedError
+
+    def _stamp_generation(self, slot: int, generation: int) -> None:
+        """Record ``generation`` where :meth:`resolve` will verify it."""
+        self._generation[slot] = generation
+
+    def _register_slot(
+        self, view: np.ndarray, capacity: int, segment: str, offset: int
+    ) -> int:
+        slot = len(self._views)
+        self._views.append(view)
+        self._capacity.append(capacity)
+        self._generation.append(0)
+        self._refcount.append(0)
+        self._segment_of.append(segment)
+        self._offset_of.append(offset)
+        self._free.setdefault(capacity, []).append(slot)
+        return slot
+
+    # -- public API ----------------------------------------------------
+    def acquire(self, nbytes: int, refs: int = 1) -> PayloadRef:
+        """Check out a slot holding ``nbytes``, issued with ``refs``
+        references (one per eventual :meth:`decref`)."""
+        if refs < 1:
+            raise ValueError(f"refs must be >= 1, got {refs}")
+        cap = size_class(nbytes)
+        with self._lock:
+            self._ensure_open()
+            return self._acquire_locked(cap, nbytes, refs)
+
+    def acquire_batch(self, nbytes: int, refs: Sequence[int]) -> List[PayloadRef]:
+        """Check out ``len(refs)`` same-sized slots under one lock hold.
+
+        The hot path of the shared-memory executor: the parent acquires a
+        whole chunk's output slots at once instead of paying a lock
+        round-trip per column.
+        """
+        if any(r < 1 for r in refs):
+            raise ValueError(f"refs must all be >= 1, got {list(refs)}")
+        cap = size_class(nbytes)
+        with self._lock:
+            self._ensure_open()
+            return [self._acquire_locked(cap, nbytes, r) for r in refs]
+
+    def _acquire_locked(self, cap: int, nbytes: int, refs: int) -> PayloadRef:
+        free = self._free.setdefault(cap, [])
+        if free:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._grow(cap)
+        slot = free.pop()
+        self.stats.acquires += 1
+        self.stats.bytes_shared += nbytes
+        self._live += 1
+        if self._live > self.stats.peak_live:
+            self.stats.peak_live = self._live
+        gen = self._generation[slot] + 1
+        self._stamp_generation(slot, gen)
+        self._refcount[slot] = refs
+        return PayloadRef(
+            pool=self.pool_id,
+            slot=slot,
+            generation=gen,
+            nbytes=nbytes,
+            segment=self._segment_of[slot],
+            offset=self._offset_of[slot],
+        )
+
+    def incref(self, ref: PayloadRef, n: int = 1) -> None:
+        """Add ``n`` references (e.g. one per extra consumer)."""
+        with self._lock:
+            self._check(ref)
+            self._refcount[ref.slot] += n
+
+    def decref(self, ref: PayloadRef, n: int = 1) -> None:
+        """Drop ``n`` references; the last one recycles the slot and bumps
+        its generation so outstanding handles go stale."""
+        with self._lock:
+            self._check(ref)
+            self._decref_locked(ref, n)
+
+    def decref_batch(self, refs: Iterable[PayloadRef]) -> None:
+        """Drop one reference from each handle under one lock hold."""
+        with self._lock:
+            for ref in refs:
+                self._check(ref)
+                self._decref_locked(ref, 1)
+
+    def _decref_locked(self, ref: PayloadRef, n: int) -> None:
+        slot = ref.slot
+        left = self._refcount[slot] - n
+        if left < 0:
+            raise StaleHandleError(f"over-release of {ref}")
+        self._refcount[slot] = left
+        if left == 0:
+            self._stamp_generation(slot, self._generation[slot] + 1)
+            self._free[self._capacity[slot]].append(slot)
+            self._live -= 1
+
+    def refcount(self, ref: PayloadRef) -> int:
+        """Current reference count of a live handle (testing hook)."""
+        with self._lock:
+            self._check(ref)
+            return self._refcount[ref.slot]
+
+    def resolve(self, ref: PayloadRef) -> np.ndarray:
+        """The live payload bytes behind ``ref`` as a mutable uint8 view."""
+        self._check(ref)
+        return self._views[ref.slot][: ref.nbytes]
+
+    @property
+    def live_slots(self) -> int:
+        with self._lock:
+            return self._live
+
+    def close(self) -> None:
+        """Tear the pool down and deregister it.  Idempotent; a no-op in
+        forked children (only the creating process owns the backing)."""
+        with self._lock:
+            if self._closed or os.getpid() != self._owner_pid:
+                return
+            self._closed = True
+            self._views.clear()
+            self._teardown()
+        _POOLS.pop(self.pool_id, None)
+
+    def _teardown(self) -> None:
+        """Release backing storage (backing-specific)."""
+
+    def __enter__(self) -> "SlabPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PoolClosedError(f"pool {self.pool_id} is closed")
+
+    def _check(self, ref: PayloadRef) -> None:
+        if self._closed:
+            raise PoolClosedError(f"pool {self.pool_id} is closed")
+        if ref.pool != self.pool_id:
+            raise StaleHandleError(f"{ref} does not belong to pool {self.pool_id}")
+        if ref.slot >= len(self._generation):
+            raise StaleHandleError(f"{ref} names an unknown slot")
+        if self._generation[ref.slot] != ref.generation:
+            raise StaleHandleError(
+                f"stale handle {ref}: slot generation is now "
+                f"{self._generation[ref.slot]} (use after release)"
+            )
+
+
+class HeapSlabPool(SlabPool):
+    """Slab pool backed by in-heap numpy slabs (same-address-space use)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slabs: List[np.ndarray] = []
+
+    def _grow(self, capacity: int) -> None:
+        count = max(1, min(MAX_SLOTS_PER_SLAB, SLAB_BYTES // capacity))
+        slab = np.zeros(count * capacity, dtype=np.uint8)
+        self._slabs.append(slab)
+        for k in range(count):
+            self._register_slot(
+                slab[k * capacity : (k + 1) * capacity], capacity, "", 0
+            )
+
+    def _teardown(self) -> None:
+        self._slabs.clear()
+
+
+class SharedMemorySlabPool(SlabPool):
+    """Slab pool backed by ``multiprocessing.shared_memory`` segments.
+
+    Layout of each slot inside a segment::
+
+        [ 8-byte generation tag | capacity payload bytes ]
+
+    The generation tag lives in the *shared* segment, written on every
+    acquire and release, so a forked worker — whose Python-side pool object
+    is a frozen snapshot from fork time — still verifies handles against
+    the live generation.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._gen_views: List[np.ndarray] = []  # per-slot int64 gen headers
+
+    def _grow(self, capacity: int) -> None:
+        stride = GEN_HEADER_BYTES + capacity
+        count = max(1, min(MAX_SLOTS_PER_SLAB, SLAB_BYTES // stride))
+        seg = shared_memory.SharedMemory(create=True, size=count * stride)
+        self._segments.append(seg)
+        base = np.frombuffer(seg.buf, dtype=np.uint8)
+        for k in range(count):
+            start = k * stride
+            gen_view = base[start : start + GEN_HEADER_BYTES].view("<i8")
+            gen_view[0] = 0
+            payload = base[start + GEN_HEADER_BYTES : start + stride]
+            slot = self._register_slot(
+                payload, capacity, seg.name, start + GEN_HEADER_BYTES
+            )
+            assert slot == len(self._gen_views)
+            self._gen_views.append(gen_view)
+
+    def reserve(self, nbytes: int, count: int) -> None:
+        """Pre-create slabs so at least ``count`` free slots of the size
+        class of ``nbytes`` exist.  Called before forking workers, so
+        children inherit every segment mapping they will need."""
+        cap = size_class(nbytes)
+        with self._lock:
+            self._ensure_open()
+            while len(self._free.setdefault(cap, [])) < count:
+                self._grow(cap)
+
+    def _stamp_generation(self, slot: int, generation: int) -> None:
+        self._generation[slot] = generation
+        self._gen_views[slot][0] = generation
+
+    def resolve(self, ref: PayloadRef) -> np.ndarray:
+        # Verify against the tag in shared memory, which is live even when
+        # this pool object is a forked snapshot.
+        if self._closed:
+            raise PoolClosedError(f"pool {self.pool_id} is closed")
+        if ref.pool != self.pool_id:
+            raise StaleHandleError(f"{ref} does not belong to pool {self.pool_id}")
+        if ref.slot >= len(self._gen_views):
+            # Slab created after this process forked: attach by name.
+            return _resolve_foreign(ref)
+        if int(self._gen_views[ref.slot][0]) != ref.generation:
+            raise StaleHandleError(
+                f"stale handle {ref}: shared slot generation is now "
+                f"{int(self._gen_views[ref.slot][0])} (use after release)"
+            )
+        return self._views[ref.slot][: ref.nbytes]
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of all backing segments (leak-check hook for tests)."""
+        return [seg.name for seg in self._segments]
+
+    def _teardown(self) -> None:
+        self._gen_views.clear()
+        for seg in self._segments:
+            # Unlink before close: even if a caller still holds a view
+            # (which makes close raise BufferError), the segment must not
+            # outlive the pool in /dev/shm.
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+        self._segments.clear()
+
+
+# ----------------------------------------------------------------------
+# Foreign-segment resolution (forked workers)
+# ----------------------------------------------------------------------
+_foreign_lock = threading.Lock()
+_FOREIGN: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without registering it with the resource
+    tracker (attachers must not unlink the owner's segment at exit; Python
+    gained ``track=False`` only in 3.13)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _resolve_foreign(ref: PayloadRef) -> np.ndarray:
+    """Resolve a shared-memory handle in a process that does not own the
+    pool (or whose inherited pool predates the slot's slab)."""
+    with _foreign_lock:
+        entry = _FOREIGN.get(ref.segment)
+        if entry is None:
+            seg = _attach_untracked(ref.segment)
+            entry = (seg, np.frombuffer(seg.buf, dtype=np.uint8))
+            _FOREIGN[ref.segment] = entry
+    base = entry[1]
+    gen = int(
+        base[ref.offset - GEN_HEADER_BYTES : ref.offset].view("<i8")[0]
+    )
+    if gen != ref.generation:
+        raise StaleHandleError(
+            f"stale handle {ref}: shared slot generation is now {gen} "
+            "(use after release)"
+        )
+    return base[ref.offset : ref.offset + ref.nbytes]

@@ -66,8 +66,12 @@ class Executor(abc.ABC):
         start = time.perf_counter()
         self.execute_graphs(graphs, validate=validate)
         elapsed = time.perf_counter() - start
+        # Executors that instrument their data plane leave a stats record on
+        # the instance (see repro.core.bufpool); surface it in the result.
+        stats = getattr(self, "_data_plane", None)
         return summarize_graphs(
-            self.name, graphs, elapsed, self.cores, validated=validate
+            self.name, graphs, elapsed, self.cores, validated=validate,
+            data_plane=stats,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,9 +15,54 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 from .task_graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class DataPlaneStats:
+    """How task payloads moved during a run (paper §3's communication layer).
+
+    The zero-copy data plane (:mod:`repro.core.bufpool`) distinguishes
+    payload bytes that crossed an executor boundary *by copy* (pickled
+    through a pipe, duplicated into a message) from bytes that were
+    *shared* (routed through pooled slabs and referenced by handle).
+    Pool hit-rate tracks how well slab recycling amortizes allocation.
+    """
+
+    bytes_copied: int = 0
+    payloads_copied: int = 0
+    bytes_shared: int = 0
+    payloads_shared: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of pool acquisitions served from a free list."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    def merged(self, other: "DataPlaneStats") -> "DataPlaneStats":
+        """Sum of two stats records (e.g. several pools in one run)."""
+        return DataPlaneStats(
+            bytes_copied=self.bytes_copied + other.bytes_copied,
+            payloads_copied=self.payloads_copied + other.payloads_copied,
+            bytes_shared=self.bytes_shared + other.bytes_shared,
+            payloads_shared=self.payloads_shared + other.payloads_shared,
+            pool_hits=self.pool_hits + other.pool_hits,
+            pool_misses=self.pool_misses + other.pool_misses,
+        )
+
+    def report_lines(self) -> List[str]:
+        """Data-plane section of the uniform report."""
+        return [
+            f"Bytes Copied {self.bytes_copied} ({self.payloads_copied} payloads)",
+            f"Bytes Shared {self.bytes_shared} ({self.payloads_shared} payloads)",
+            f"Pool Hit Rate {self.pool_hit_rate:.3f} "
+            f"({self.pool_hits} hits, {self.pool_misses} misses)",
+        ]
 
 
 @dataclass(frozen=True)
@@ -39,6 +84,10 @@ class RunResult:
         Useful work executed, summed over all graphs.
     validated:
         Whether input validation was enabled during the run.
+    data_plane:
+        Payload-movement counters for executors that report them (see
+        :class:`DataPlaneStats`); ``None`` when the executor does not
+        instrument its data plane.
     """
 
     executor: str
@@ -49,6 +98,7 @@ class RunResult:
     total_flops: int = 0
     total_bytes: int = 0
     validated: bool = True
+    data_plane: Optional[DataPlaneStats] = None
 
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
@@ -96,8 +146,13 @@ class RunResult:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def report(self) -> str:
-        """Uniform multi-line result report (official-output style)."""
+    def report(self, *, data_plane: bool = False) -> str:
+        """Uniform multi-line result report (official-output style).
+
+        With ``data_plane=True`` (the CLI's ``--report`` flag), the
+        payload-movement counters are appended when the executor collected
+        them.
+        """
         lines = [
             f"Executor: {self.executor}",
             f"Total Tasks {self.total_tasks}",
@@ -107,6 +162,11 @@ class RunResult:
             f"B/s {self.bytes_per_second:e}",
             f"Task Granularity {self.task_granularity_seconds:e} seconds",
         ]
+        if data_plane:
+            if self.data_plane is not None:
+                lines.extend(self.data_plane.report_lines())
+            else:
+                lines.append("Data Plane (not instrumented)")
         return "\n".join(lines)
 
     def with_elapsed(self, elapsed_seconds: float) -> "RunResult":
@@ -121,6 +181,7 @@ def summarize_graphs(
     cores: int,
     *,
     validated: bool = True,
+    data_plane: Optional[DataPlaneStats] = None,
 ) -> RunResult:
     """Build a :class:`RunResult` from graph-level accounting.
 
@@ -139,4 +200,5 @@ def summarize_graphs(
         total_flops=sum(g.total_flops() for g in graphs),
         total_bytes=sum(g.total_bytes() for g in graphs),
         validated=validated,
+        data_plane=data_plane,
     )

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from .dependence import DependenceSpec, Interval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import bufpool
 from .kernels import Kernel
 from .types import DependenceType, KernelType
 
@@ -182,27 +185,41 @@ class TaskGraph:
         self,
         t: int,
         i: int,
-        inputs: List[np.ndarray],
+        inputs: Sequence["bufpool.Payload"],
         scratch: np.ndarray | None = None,
         *,
         validate: bool = True,
-    ) -> np.ndarray:
+        out: "bufpool.Payload | None" = None,
+    ) -> "bufpool.Payload":
         """Execute task ``(t, i)``: validate inputs, run the kernel, and
         return the task's output buffer.
 
         ``inputs`` must contain the outputs of the task's dependencies in
         canonical (ascending-column) order, i.e. the order produced by
-        :meth:`dependency_points`.  Every Task Bench runtime shim calls this
-        single entry point, which is what makes implementations comparable
-        (paper §2: "the core library ... ensures the kernels are identical in
-        all systems").
-        """
-        from . import validation  # local import to avoid a cycle
+        :meth:`dependency_points`.  Each input may be a raw ``np.ndarray``
+        or a :class:`~repro.core.bufpool.PayloadRef` handle into a buffer
+        pool; handles are resolved (and their generation tags verified)
+        before validation, so pooled executors ship only handles between
+        address spaces.  Every Task Bench runtime shim calls this single
+        entry point, which is what makes implementations comparable (paper
+        §2: "the core library ... ensures the kernels are identical in all
+        systems").
 
+        When ``out`` is given (an array or pool handle of exactly
+        ``output_bytes_per_task`` bytes), the output pattern is written into
+        it in place and ``out`` itself is returned — the zero-copy output
+        path.  Otherwise a fresh array is returned as before.
+        """
+        from . import bufpool, validation  # local import to avoid a cycle
+
+        resolved = [bufpool.as_array(x) for x in inputs]
         if validate:
-            validation.validate_inputs(self, t, i, inputs)
+            validation.validate_inputs(self, t, i, resolved)
         self.kernel.execute(t, i, scratch=scratch, seed=self.seed)
-        return validation.task_output(self, t, i)
+        if out is None:
+            return validation.task_output(self, t, i)
+        validation.write_task_output(self, t, i, bufpool.as_array(out))
+        return out
 
     # ------------------------------------------------------------------
     # Convenience

@@ -63,6 +63,24 @@ def task_output(graph: "TaskGraph", t: int, i: int) -> np.ndarray:
     return np.frombuffer(pattern, dtype=np.uint8).copy()
 
 
+def write_task_output(graph: "TaskGraph", t: int, i: int, dest: np.ndarray) -> None:
+    """Write the unique output of task ``(t, i)`` into ``dest`` in place.
+
+    The in-place twin of :func:`task_output`, used by the pooled data plane
+    (:mod:`repro.core.bufpool`) to fill a recycled slab slot instead of
+    allocating a fresh array per task.
+    """
+    nbytes = graph.output_bytes_per_task
+    if dest.nbytes != nbytes:
+        raise ValueError(
+            f"destination holds {dest.nbytes} bytes, task output needs {nbytes}"
+        )
+    if nbytes == 0:
+        return
+    pattern = _output_bytes(graph.seed, graph.graph_index, t, i, nbytes)
+    dest[:] = np.frombuffer(pattern, dtype=np.uint8)
+
+
 def validate_inputs(
     graph: "TaskGraph", t: int, i: int, inputs: Sequence[np.ndarray]
 ) -> None:

@@ -15,6 +15,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import bufpool
+from ..core.bufpool import PayloadRef, PoolStats, SlabPool
+from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
 
 #: Task key: (graph_index, timestep, column).
@@ -104,6 +107,55 @@ def record_event(kind: str, task: TaskKey, source: TaskKey | None = None) -> Non
         rec.record(kind, task, source)
 
 
+# ----------------------------------------------------------------------
+# Output capture (consumed by the executor-conformance suite)
+# ----------------------------------------------------------------------
+_capture_lock = threading.Lock()
+_capture_sink: Dict[TaskKey, bytes] | None = None
+
+
+@contextlib.contextmanager
+def capturing_outputs() -> Iterator[Dict[TaskKey, bytes]]:
+    """Record a bytes snapshot of every published task output.
+
+    The differential conformance suite runs each executor under this
+    context and compares the captured ``{task: bytes}`` mapping bytewise
+    against the serial executor's.  Snapshots are taken at publish time —
+    before pooled buffers can be recycled — and publishing two *different*
+    payloads for one task is an immediate error.
+
+    Process-wide like :func:`tracing`: worker threads all report into the
+    same sink.  Nested captures are not supported.
+    """
+    global _capture_sink
+    if _capture_sink is not None:
+        raise RuntimeError("an output capture is already active")
+    sink: Dict[TaskKey, bytes] = {}
+    _capture_sink = sink
+    try:
+        yield sink
+    finally:
+        _capture_sink = None
+
+
+def capture_output(key: TaskKey, value: "bufpool.Payload") -> None:
+    """Snapshot one published output if a capture is active (no-op
+    otherwise).  Called from every publish site: :meth:`OutputStore.put`
+    and executor-private delivery paths that bypass it."""
+    sink = _capture_sink
+    if sink is None:
+        return
+    data = bufpool.as_array(value).tobytes()
+    with _capture_lock:
+        prev = sink.get(key)
+        if prev is not None and prev != data:
+            raise RuntimeError(
+                f"task {key} published two different payloads "
+                f"({len(prev)} vs {len(data)} bytes)"
+            )
+        sink[key] = data
+
+
 def task_keys(graphs: Sequence[TaskGraph]) -> Iterator[TaskKey]:
     """All task keys of all graphs, timestep-major and graph-interleaved,
     the canonical "program order" for sequential-discovery runtimes."""
@@ -131,25 +183,32 @@ class OutputStore:
     Dask listing, but correct for asynchronous execution where several
     timesteps are in flight).
 
+    Values may be raw arrays or :class:`~repro.core.bufpool.PayloadRef`
+    handles — the store never touches payload bytes, so pooled executors
+    route handles through it unchanged (pool reference counts are the
+    executor's responsibility; the store counts *reads*, the pool counts
+    *readers still holding the buffer*).
+
     :meth:`assert_drained` turns forgotten reads — i.e. buffer leaks caused
     by mis-routed dependencies — into test failures.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._data: Dict[TaskKey, Tuple[np.ndarray, int]] = {}
+        self._data: Dict[TaskKey, Tuple[bufpool.Payload, int]] = {}
 
-    def put(self, key: TaskKey, value: np.ndarray, consumers: int) -> None:
+    def put(self, key: TaskKey, value: "bufpool.Payload", consumers: int) -> None:
         """Store ``value`` to be read by exactly ``consumers`` tasks."""
         if consumers <= 0:
             return
         record_event(EV_PUBLISH, key)
+        capture_output(key, value)
         with self._lock:
             if key in self._data:
                 raise RuntimeError(f"output for task {key} stored twice")
             self._data[key] = (value, consumers)
 
-    def take(self, key: TaskKey) -> np.ndarray:
+    def take(self, key: TaskKey) -> "bufpool.Payload":
         """Read one consumer's copy of the output of ``key``."""
         with self._lock:
             try:
@@ -164,7 +223,7 @@ class OutputStore:
                 self._data[key] = (value, remaining - 1)
             return value
 
-    def gather(self, g: TaskGraph, t: int, i: int) -> List[np.ndarray]:
+    def gather(self, g: TaskGraph, t: int, i: int) -> List["bufpool.Payload"]:
         """Collect the inputs of task ``(t, i)`` in canonical order."""
         if t == 0:
             return []
@@ -222,13 +281,68 @@ def run_point(
     i: int,
     *,
     validate: bool,
+    pool: SlabPool | None = None,
 ) -> None:
-    """Gather inputs, execute one task, and publish its output."""
+    """Gather inputs, execute one task, and publish its output.
+
+    With a ``pool``, the task's output is written into a recycled slab slot
+    acquired with one reference per consumer; each consumer (a later
+    ``run_point`` call) drops its reference once it has read the buffer, at
+    which point the slot returns to the free list.  Without a pool the
+    historical allocate-per-task path is used.
+    """
     key = (g.graph_index, t, i)
     record_event(EV_START, key)
     inputs = store.gather(g, t, i)
-    out = g.execute_point(
-        t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
+    consumers = consumer_count(g, t, i)
+    if pool is None:
+        out = g.execute_point(
+            t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
+        )
+        record_event(EV_FINISH, key)
+        store.put(key, out, consumers)
+        return
+    ref = pool.acquire(g.output_bytes_per_task, refs=max(consumers, 1))
+    g.execute_point(
+        t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate,
+        out=ref,
     )
     record_event(EV_FINISH, key)
-    store.put(key, out, consumer_count(g, t, i))
+    if consumers > 0:
+        store.put(key, ref, consumers)
+    else:
+        pool.decref(ref)
+    # Reading is done: drop this consumer's reference on every pooled input
+    # so fully-read slots recycle.
+    for value in inputs:
+        if isinstance(value, PayloadRef):
+            pool.decref(value)
+
+
+def pool_data_plane(
+    pool: SlabPool,
+    *,
+    base: "PoolStats | None" = None,
+    bytes_copied: int = 0,
+    payloads_copied: int = 0,
+) -> DataPlaneStats:
+    """Fold a pool's counters (plus any copy accounting the executor kept)
+    into the uniform :class:`DataPlaneStats` record.
+
+    ``base`` is a snapshot (``dataclasses.replace(pool.stats)``) taken at run
+    start; executors whose pool persists across runs pass it so each run
+    reports its own delta rather than the pool's lifetime totals.
+    """
+    s = pool.stats
+    acquires = s.acquires - (base.acquires if base else 0)
+    hits = s.hits - (base.hits if base else 0)
+    misses = s.misses - (base.misses if base else 0)
+    bytes_shared = s.bytes_shared - (base.bytes_shared if base else 0)
+    return DataPlaneStats(
+        bytes_copied=bytes_copied,
+        payloads_copied=payloads_copied,
+        bytes_shared=bytes_shared,
+        payloads_shared=acquires,
+        pool_hits=hits,
+        pool_misses=misses,
+    )

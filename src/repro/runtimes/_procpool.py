@@ -1,0 +1,189 @@
+"""Minimal persistent fork-worker pool for the process-based executors.
+
+``multiprocessing.Pool`` routes every dispatch through two helper threads
+and a pair of locked shared queues; at the sub-millisecond granularities
+METG probes, that machinery — not the payload movement — dominates each
+timestep's barrier.  This pool is deliberately thin:
+
+* ``workers`` processes forked once and **reused across runs** (fork cost
+  is paid once per executor, not once per METG probe);
+* one duplex pipe per worker, one message per worker per round, and no
+  auxiliary threads: a round is "send each worker its chunk list, then
+  collect each worker's results";
+* workers are daemonic and additionally reaped by a ``weakref.finalize``
+  on the owning pool, so dropping the last reference (or process exit)
+  cleans them up without an explicit ``close()``.
+
+The worker function is fixed at construction, so each round ships only the
+chunks themselves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import weakref
+from multiprocessing.connection import Connection
+from typing import Any, Callable, List, Sequence, Tuple
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a Python exception."""
+
+
+def _worker_main(
+    conn: Connection,
+    fn: Callable[[Any], Any],
+    initializer: Callable[..., None] | None,
+    initargs: Tuple[Any, ...],
+) -> None:
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        try:
+            if isinstance(msg, tuple):  # control: (func, args) broadcast
+                func, fargs = msg
+                results = func(*fargs)
+            else:  # a round's chunk list
+                results = [fn(c) for c in msg]
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            tb = traceback.format_exc()
+            try:
+                conn.send(("error", exc, tb))
+            except Exception:  # unpicklable exception: ship a summary
+                conn.send(("error", WorkerCrashError(repr(exc)), tb))
+            continue
+        conn.send(("ok", results))
+    conn.close()
+
+
+def _shutdown(conns: List[Connection], procs: List[mp.process.BaseProcess]) -> None:
+    for conn in conns:
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    for proc in procs:
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - worker wedged
+            proc.terminate()
+            proc.join(timeout=1.0)
+
+
+class ForkWorkerPool:
+    """``workers`` forked processes executing rounds of chunk lists."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        workers: int,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        ctx = mp.get_context("fork")
+        conns: List[Connection] = []
+        procs: List[mp.process.BaseProcess] = []
+        for _ in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, fn, initializer, initargs),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        self.workers = workers
+        self._conns = conns
+        self._procs = procs
+        self._finalizer = weakref.finalize(self, _shutdown, conns, procs)
+
+    def run_round(self, chunks: Sequence[Any]) -> List[Any]:
+        """Execute ``chunks`` across the workers; a barrier — returns once
+        every chunk of the round completed, in input order."""
+        if not self._finalizer.alive:
+            raise RuntimeError("worker pool is closed")
+        n = self.workers
+        assigned: List[List[Any]] = [[] for _ in range(n)]
+        order: List[List[int]] = [[] for _ in range(n)]
+        for k, chunk in enumerate(chunks):
+            assigned[k % n].append(chunk)
+            order[k % n].append(k)
+        active = [w for w in range(n) if assigned[w]]
+        try:
+            for w in active:
+                self._conns[w].send(assigned[w])
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError("a worker process died mid-send") from exc
+        results: List[Any] = [None] * len(chunks)
+        failure: BaseException | None = None
+        for w in active:
+            try:
+                status, *payload = self._conns[w].recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"worker {w} died without reporting an exception"
+                ) from exc
+            if status == "error":
+                exc, tb = payload
+                exc.add_note(f"worker {w} traceback:\n{tb}")
+                failure = failure or exc
+            else:
+                for k, value in zip(order[w], payload[0]):
+                    results[k] = value
+        if failure is not None:
+            raise failure
+        return results
+
+    def broadcast(self, func: Callable[..., Any], *args: Any) -> List[Any]:
+        """Run ``func(*args)`` once in *every* worker; a barrier.
+
+        Used for worker-state maintenance (e.g. refreshing per-process
+        graph caches) that must reach all workers, not just the ones a
+        round's chunk assignment happens to touch.
+        """
+        if not self._finalizer.alive:
+            raise RuntimeError("worker pool is closed")
+        try:
+            for conn in self._conns:
+                conn.send((func, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError("a worker process died mid-send") from exc
+        out: List[Any] = []
+        failure: BaseException | None = None
+        for w, conn in enumerate(self._conns):
+            try:
+                status, *payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"worker {w} died without reporting an exception"
+                ) from exc
+            if status == "error":
+                exc, tb = payload
+                exc.add_note(f"worker {w} traceback:\n{tb}")
+                failure = failure or exc
+            else:
+                out.append(payload[0])
+        if failure is not None:
+            raise failure
+        return out
+
+    def close(self) -> None:
+        """Shut the workers down.  Idempotent; also runs automatically when
+        the pool is garbage-collected."""
+        self._finalizer()

@@ -28,6 +28,7 @@ from ._common import (
     EV_PUBLISH,
     EV_START,
     ScratchPool,
+    capture_output,
     record_event,
 )
 
@@ -157,6 +158,7 @@ class ActorExecutor(Executor):
             consumers = list(g.reverse_dependency_points(t, actor.column))
             if consumers:
                 record_event(EV_PUBLISH, task)
+                capture_output(task, out)
             for j in consumers:
                 deliver(actors[(g.graph_index, j)], t + 1, actor.column, out)
             with actor.lock:

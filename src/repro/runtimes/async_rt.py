@@ -23,6 +23,7 @@ from ._common import (
     EV_START,
     ScratchPool,
     TaskKey,
+    capture_output,
     record_event,
     task_keys,
 )
@@ -71,6 +72,7 @@ class AsyncioExecutor(Executor):
                 )
                 record_event(EV_FINISH, key)
             record_event(EV_PUBLISH, key)
+            capture_output(key, out)
             outputs[key].set_result(out)
 
         coros = [task(gi, t, i) for gi, t, i in task_keys(graphs)]

@@ -12,9 +12,11 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
+from ..core.bufpool import HeapSlabPool
 from ..core.executor_base import Executor
+from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
-from ._common import OutputStore, ScratchPool, run_point
+from ._common import OutputStore, ScratchPool, pool_data_plane, run_point
 
 
 class BulkSyncExecutor(Executor):
@@ -26,6 +28,7 @@ class BulkSyncExecutor(Executor):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._data_plane: DataPlaneStats | None = None
 
     @property
     def cores(self) -> int:
@@ -36,22 +39,31 @@ class BulkSyncExecutor(Executor):
     ) -> None:
         store = OutputStore()
         scratch = ScratchPool(graphs)
+        # Same address space, so a heap-backed slab pool: output buffers
+        # recycle across timesteps instead of being reallocated per task.
+        buffers = HeapSlabPool()
         max_t = max(g.timesteps for g in graphs)
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            for t in range(max_t):
-                futures = []
-                for g in graphs:
-                    if t >= g.timesteps:
-                        continue
-                    off = g.offset_at_timestep(t)
-                    for i in range(off, off + g.width_at_timestep(t)):
-                        futures.append(
-                            pool.submit(
-                                run_point, store, scratch, g, t, i, validate=validate
+        try:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for t in range(max_t):
+                    futures = []
+                    for g in graphs:
+                        if t >= g.timesteps:
+                            continue
+                        off = g.offset_at_timestep(t)
+                        for i in range(off, off + g.width_at_timestep(t)):
+                            futures.append(
+                                pool.submit(
+                                    run_point, store, scratch, g, t, i,
+                                    validate=validate, pool=buffers,
+                                )
                             )
-                        )
-                # The barrier: every task of this timestep must finish (and
-                # any failure propagate) before the next timestep launches.
-                for f in futures:
-                    f.result()
-        store.assert_drained()
+                    # The barrier: every task of this timestep must finish
+                    # (and any failure propagate) before the next timestep
+                    # launches.
+                    for f in futures:
+                        f.result()
+            store.assert_drained()
+            self._data_plane = pool_data_plane(buffers)
+        finally:
+            buffers.close()

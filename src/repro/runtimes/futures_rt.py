@@ -31,6 +31,7 @@ from ._common import (
     EV_START,
     ScratchPool,
     TaskKey,
+    capture_output,
     record_event,
     task_keys,
 )
@@ -75,6 +76,7 @@ class FuturesExecutor(Executor):
             # The future resolving (immediately after this return) is the
             # publication point; record it before the value becomes visible.
             record_event(EV_PUBLISH, task)
+            capture_output(task, out)
             return out
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:

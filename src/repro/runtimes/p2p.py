@@ -28,6 +28,7 @@ from ._common import (
     OutputStore,
     ScratchPool,
     TaskKey,
+    capture_output,
     record_event,
 )
 
@@ -227,8 +228,10 @@ class P2PExecutor(Executor):
         key = (g.graph_index, t, i)
         if any(dest != rank for dest in per_rank):
             # Remote sends bypass OutputStore.put, so the mailbox path needs
-            # its own publish event (local.put records its own).
+            # its own publish event and capture snapshot (local.put records
+            # its own).
             record_event(EV_PUBLISH, key)
+            capture_output(key, out)
         for dest, consumers in per_rank.items():
             if dest == rank:
                 local.put(key, out, consumers)

@@ -7,6 +7,20 @@ to and from the GPU on every timestep").  The timestep-phased structure
 mirrors the hierarchical MPI+X model: a barrier per timestep, parallelism
 within it.
 
+This executor is the *copying* baseline of the data-plane A/B pair: every
+payload is pickled across the pool on every timestep, and the copied bytes
+are counted in the run's :class:`~repro.core.metrics.DataPlaneStats`.  The
+zero-copy counterpart is :mod:`repro.runtimes.shm`.
+
+Both process executors keep their fork-worker pool alive **across runs** of
+the same executor instance (a METG sweep re-runs one executor dozens of
+times; paying the fork per probe would swamp the measurement).  Reuse makes
+worker-side cache coherence explicit: each worker caches graphs by
+``graph_index``, and a later run may reuse an index for a *different*
+graph.  The parent tracks what each pool was last told (``_known``) and
+broadcasts fresh graphs to every worker before a run whose graphs changed —
+see :func:`worker_graph` for the worker-side eviction.
+
 Scratch buffers live per worker process (their *content* carries no
 cross-timestep semantics — the memory kernel only needs a working set), so
 only task inputs/outputs are serialized.
@@ -14,14 +28,16 @@ only task inputs/outputs are serialized.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from typing import Dict, List, Sequence, Tuple
+import dataclasses
+from typing import Any, Callable, ClassVar, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.executor_base import Executor
+from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
 from ._common import EV_FINISH, EV_START, OutputStore, consumer_count, record_event
+from ._procpool import ForkWorkerPool
 
 # Per-process caches, initialized lazily inside workers.
 _WORKER_GRAPHS: Dict[int, TaskGraph] = {}
@@ -35,19 +51,66 @@ def _worker_init(graphs: Sequence[TaskGraph]) -> None:
         _WORKER_GRAPHS[g.graph_index] = g
 
 
+def worker_graph(g: TaskGraph) -> TaskGraph:
+    """Install ``g`` in the worker cache, evicting stale state.
+
+    A worker serving back-to-back runs can hold a *different* graph under
+    the same ``graph_index`` (e.g. a METG sweep varying kernel iterations).
+    Keying the caches by index alone silently executed the stale graph; now
+    a mismatched entry is replaced and the graph's scratch buffer evicted.
+    When the cached graph *is* equal it is preferred, so its warm
+    dependence tables survive.
+    """
+    cached = _WORKER_GRAPHS.get(g.graph_index)
+    if cached is not None and cached == g:
+        return cached
+    _WORKER_GRAPHS[g.graph_index] = g
+    _WORKER_SCRATCH.pop(g.graph_index, None)
+    return g
+
+
+def _worker_update(graphs: Sequence[TaskGraph]) -> None:
+    """Broadcast target: refresh the worker's graph cache before a round."""
+    for g in graphs:
+        worker_graph(g)
+
+
+def worker_scratch(g: TaskGraph) -> np.ndarray | None:
+    """The worker-side scratch buffer for ``g`` (rebuilt on size change)."""
+    if not g.scratch_bytes_per_task:
+        return None
+    scratch = _WORKER_SCRATCH.get(g.graph_index)
+    if scratch is None or scratch.nbytes != g.scratch_bytes_per_task:
+        scratch = g.prepare_scratch()
+        _WORKER_SCRATCH[g.graph_index] = scratch
+    return scratch
+
+
+def wire_graph(g: TaskGraph) -> TaskGraph:
+    """A copy of ``g`` without memoized state, cheap to pickle.
+
+    ``TaskGraph.spec`` is a ``cached_property``; once the parent has used a
+    graph, pickling the instance would ship the whole materialized
+    dependence relation (random patterns carry per-timestep tables).  A
+    field-for-field replacement starts with an empty cache and compares
+    equal to the original.
+    """
+    return dataclasses.replace(g)
+
+
 def _worker_chunk(
     args: Tuple[int, int, List[int], List[List[np.ndarray]], bool],
 ) -> List[Tuple[int, np.ndarray]]:
     """Execute a chunk of columns of one (graph, timestep) in a worker
-    process.  Returns ``(column, output)`` pairs."""
-    graph_index, t, columns, inputs_per_column, validate = args
-    g = _WORKER_GRAPHS[graph_index]
-    scratch = None
-    if g.scratch_bytes_per_task:
-        scratch = _WORKER_SCRATCH.get(graph_index)
-        if scratch is None or scratch.nbytes != g.scratch_bytes_per_task:
-            scratch = g.prepare_scratch()
-            _WORKER_SCRATCH[graph_index] = scratch
+    process.  Returns ``(column, output)`` pairs.
+
+    The graph is referenced by index only: the parent guarantees the
+    worker's cache is coherent before any round of a run is dispatched
+    (``_worker_init`` at fork, ``_worker_update`` broadcasts after that).
+    """
+    gi, t, columns, inputs_per_column, validate = args
+    g = _WORKER_GRAPHS[gi]
+    scratch = worker_scratch(g)
     out = []
     for i, inputs in zip(columns, inputs_per_column):
         out.append((i, g.execute_point(t, i, inputs, scratch=scratch,
@@ -55,53 +118,119 @@ def _worker_chunk(
     return out
 
 
-class ProcessPoolExecutor(Executor):
-    """Timestep-phased execution over a multiprocessing pool."""
+class _PhasedProcessExecutor(Executor):
+    """Shared machinery of the process executors: a persistent
+    :class:`ForkWorkerPool` plus cross-run worker graph-cache coherence."""
 
-    name = "processes"
+    #: Module-level chunk function the pool's workers run (set by subclass).
+    chunk_fn: ClassVar[Callable[[Any], Any]]
 
     def __init__(self, workers: int = 2) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._data_plane: DataPlaneStats | None = None
+        self._procs: ForkWorkerPool | None = None
+        self._known: Dict[int, TaskGraph] = {}
 
     @property
     def cores(self) -> int:
         return self.workers
 
+    def close(self) -> None:
+        """Release the worker processes.  Optional — the pool also tears
+        itself down when the executor is garbage-collected."""
+        if self._procs is not None:
+            self._procs.close()
+            self._procs = None
+        self._known = {}
+
+    def _prefork(self, graphs: Sequence[TaskGraph]) -> None:
+        """Hook: per-executor resources that must exist before the fork."""
+
+    def _sync_workers(self, graphs: Sequence[TaskGraph]) -> ForkWorkerPool:
+        """Fork (or reuse) the worker pool and make every worker's graph
+        cache coherent with ``graphs``.  Afterwards chunks refer to graphs
+        by index alone."""
+        wire = {g.graph_index: wire_graph(g) for g in graphs}
+        if self._procs is None:
+            self._prefork(graphs)
+            self._procs = ForkWorkerPool(
+                type(self).chunk_fn,
+                self.workers,
+                initializer=_worker_init,
+                initargs=(list(wire.values()),),
+            )
+            self._known = wire
+            return self._procs
+        stale = [wire[gi] for gi in wire if self._known.get(gi) != wire[gi]]
+        if stale:
+            # A reused pool may hold a different graph under a reused
+            # index.  The broadcast reaches every worker — chunk
+            # assignment alone might not — so no worker can execute a
+            # stale graph later in the run.
+            self._procs.broadcast(_worker_update, stale)
+            self._known.update({g.graph_index: g for g in stale})
+        return self._procs
+
     def execute_graphs(
         self, graphs: Sequence[TaskGraph], *, validate: bool = True
     ) -> None:
+        try:
+            self._execute(graphs, validate)
+        except BaseException:
+            # Worker/pool state is unknown after a failure: drop the pool
+            # so the next run starts from a coherent fork.
+            self.close()
+            raise
+
+    def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
+        raise NotImplementedError
+
+
+class ProcessPoolExecutor(_PhasedProcessExecutor):
+    """Timestep-phased execution over a pool of forked workers."""
+
+    name = "processes"
+    chunk_fn = staticmethod(_worker_chunk)
+
+    def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
         store = OutputStore()
+        bytes_copied = 0
+        payloads_copied = 0
         max_t = max(g.timesteps for g in graphs)
-        ctx = mp.get_context("fork")
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(list(graphs),),
-        ) as pool:
-            for t in range(max_t):
-                chunks = []
-                for g in graphs:
-                    if t >= g.timesteps:
-                        continue
-                    off = g.offset_at_timestep(t)
-                    active = list(range(off, off + g.width_at_timestep(t)))
-                    for cols in _split(active, self.workers):
-                        inputs = [store.gather(g, t, i) for i in cols]
-                        chunks.append((g.graph_index, t, cols, inputs, validate))
-                for (gi, tt, _cols, _inp, _v), results in zip(
-                    chunks, pool.map(_worker_chunk, chunks)
-                ):
-                    g = next(gr for gr in graphs if gr.graph_index == gi)
-                    for i, out in results:
-                        # Kernels ran in worker processes; their start/finish
-                        # are surfaced here, once the result has crossed back
-                        # — the earliest point the trace can order them.
-                        record_event(EV_START, (gi, tt, i))
-                        record_event(EV_FINISH, (gi, tt, i))
-                        store.put((gi, tt, i), out, consumer_count(g, tt, i))
+        procs = self._sync_workers(graphs)
+        for t in range(max_t):
+            chunks = []
+            chunk_graphs = []
+            for g in graphs:
+                if t >= g.timesteps:
+                    continue
+                off = g.offset_at_timestep(t)
+                active = list(range(off, off + g.width_at_timestep(t)))
+                for cols in _split(active, self.workers):
+                    inputs = [store.gather(g, t, i) for i in cols]
+                    for bufs in inputs:
+                        for buf in bufs:
+                            bytes_copied += buf.nbytes
+                            payloads_copied += 1
+                    chunks.append((g.graph_index, t, cols, inputs, validate))
+                    chunk_graphs.append(g)
+            for g, results in zip(chunk_graphs, procs.run_round(chunks)):
+                gi = g.graph_index
+                for i, out in results:
+                    # Kernels ran in worker processes; their start/finish
+                    # are surfaced here, once the result has crossed back
+                    # — the earliest point the trace can order them.
+                    record_event(EV_START, (gi, t, i))
+                    record_event(EV_FINISH, (gi, t, i))
+                    bytes_copied += out.nbytes
+                    payloads_copied += 1
+                    store.put((gi, t, i), out, consumer_count(g, t, i))
         store.assert_drained()
+        self._data_plane = DataPlaneStats(
+            bytes_copied=bytes_copied, payloads_copied=payloads_copied
+        )
 
 
 def _split(items: List[int], parts: int) -> List[List[int]]:

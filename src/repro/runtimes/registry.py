@@ -20,6 +20,7 @@ from .p2p import P2PExecutor
 from .processes import ProcessPoolExecutor
 from .ptg import PTGExecutor
 from .serial import SerialExecutor
+from .shm import ShmProcessPoolExecutor
 from .threads import ThreadPoolTaskExecutor
 
 _FACTORIES: Dict[str, Callable[..., Executor]] = {
@@ -28,6 +29,7 @@ _FACTORIES: Dict[str, Callable[..., Executor]] = {
     "p2p": lambda workers=2, **kw: P2PExecutor(workers),
     "threads": lambda workers=2, **kw: ThreadPoolTaskExecutor(workers),
     "processes": lambda workers=2, **kw: ProcessPoolExecutor(workers),
+    "shm_processes": lambda workers=2, **kw: ShmProcessPoolExecutor(workers),
     "dataflow": lambda workers=2, **kw: DataflowExecutor(workers, **kw),
     "futures": lambda workers=2, **kw: FuturesExecutor(workers),
     "asyncio": lambda workers=2, **kw: AsyncioExecutor(workers),

@@ -1,0 +1,158 @@
+"""Zero-copy process-pool executor over a shared-memory data plane.
+
+Structurally the twin of :mod:`repro.runtimes.processes` — the same
+timestep-phased chunking over a persistent fork-worker pool — but payloads
+never cross the process boundary.  The executor owns a
+:class:`~repro.core.bufpool.SharedMemorySlabPool`; every task output is
+written by its worker directly into a pooled slab slot, and dependencies
+are shipped to consumers as :class:`~repro.core.bufpool.PayloadRef`
+handles: a few machine words per payload instead of a pickled copy.
+
+This is the pointer-passing shim the paper's C++ runtimes get for free, and
+what makes METG at small task granularities measure *runtime* overhead
+rather than serialization overhead (TaskTorrent and the AMT Task Bench
+study both locate the copy cliff exactly in the sub-millisecond regime).
+
+Allocation protocol (single-owner, no cross-process locks):
+
+* only the parent acquires, increfs, and decrefs slots; workers are pure
+  readers/writers of slots the parent handed them;
+* an output slot is acquired with one reference per consumer before its
+  chunk is dispatched; consumers' references are dropped after the
+  timestep's barrier, when every worker read is provably complete;
+* slabs are pre-reserved *before* the pool forks, so workers inherit every
+  segment mapping (late growth falls back to attach-by-name);
+* generation tags live in the shared segments themselves, so a worker
+  detects a stale handle even though its Python-side pool object is a
+  fork-time snapshot.
+
+The slab pool persists across runs of one executor instance, alongside the
+worker pool: slots recycle between METG probes, and segment mappings stay
+warm in the long-lived workers.  Each run asserts it returned the pool to
+zero live slots — a per-run leak check on the refcounting protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from typing import List, Sequence, Tuple
+
+from ..core.bufpool import PayloadRef, SharedMemorySlabPool
+from ..core.task_graph import TaskGraph
+from ._common import (
+    EV_FINISH,
+    EV_START,
+    OutputStore,
+    consumer_count,
+    pool_data_plane,
+    record_event,
+)
+from .processes import (
+    _PhasedProcessExecutor,
+    _split,
+    _WORKER_GRAPHS,
+    worker_scratch,
+)
+
+#: One chunk of work: (graph index, timestep, columns, per-column input
+#: handles, per-column output handles, validate).
+_Chunk = Tuple[int, int, List[int], List[List[PayloadRef]], List[PayloadRef], bool]
+
+
+def _shm_worker_chunk(args: _Chunk) -> int:
+    """Execute a chunk of columns of one (graph, timestep) in a worker.
+
+    Inputs arrive as pool handles (resolved — and generation-checked —
+    inside ``execute_point``); each output is written in place into the
+    handle the parent pre-acquired for it.  Only the column count crosses
+    back.
+    """
+    gi, t, columns, inputs_per_column, out_refs, validate = args
+    g = _WORKER_GRAPHS[gi]
+    scratch = worker_scratch(g)
+    for i, inputs, out in zip(columns, inputs_per_column, out_refs):
+        g.execute_point(t, i, inputs, scratch=scratch, validate=validate,
+                        out=out)
+    return len(columns)
+
+
+class ShmProcessPoolExecutor(_PhasedProcessExecutor):
+    """Timestep-phased multiprocessing with payloads in shared-memory slabs."""
+
+    name = "shm_processes"
+    chunk_fn = staticmethod(_shm_worker_chunk)
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._buffers: SharedMemorySlabPool | None = None
+
+    def close(self) -> None:
+        super().close()
+        if self._buffers is not None:
+            self._buffers.close()
+            self._buffers = None
+
+    def _prefork(self, graphs: Sequence[TaskGraph]) -> None:
+        # Reserve the steady-state working set before forking: two
+        # timestep frontiers of output slots per graph, so workers inherit
+        # every segment they will touch.
+        buffers = SharedMemorySlabPool()
+        for g in graphs:
+            buffers.reserve(g.output_bytes_per_task, 2 * g.max_width)
+        self._buffers = buffers
+        # Unlink the segments even if the executor is never close()d.
+        weakref.finalize(self, SharedMemorySlabPool.close, buffers)
+
+    def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
+        store = OutputStore()
+        max_t = max(g.timesteps for g in graphs)
+        procs = self._sync_workers(graphs)
+        pool = self._buffers
+        assert pool is not None
+        stats_base = dataclasses.replace(pool.stats)
+        for t in range(max_t):
+            chunks: List[_Chunk] = []
+            chunk_graphs = []
+            for g in graphs:
+                if t >= g.timesteps:
+                    continue
+                off = g.offset_at_timestep(t)
+                active = list(range(off, off + g.width_at_timestep(t)))
+                for cols in _split(active, self.workers):
+                    in_refs = [store.gather(g, t, i) for i in cols]
+                    consumers = [consumer_count(g, t, i) for i in cols]
+                    out_refs = pool.acquire_batch(
+                        g.output_bytes_per_task,
+                        [max(c, 1) for c in consumers],
+                    )
+                    chunks.append(
+                        (g.graph_index, t, cols, in_refs, out_refs, validate)
+                    )
+                    chunk_graphs.append((g, consumers))
+            procs.run_round(chunks)
+            for (g, consumers), (_gi, _t, cols, in_refs, out_refs, _v) in zip(
+                chunk_graphs, chunks
+            ):
+                gi = g.graph_index
+                for i, out, ncons in zip(cols, out_refs, consumers):
+                    # Kernels ran in worker processes; their start/finish
+                    # are surfaced here, after the barrier — the earliest
+                    # point the trace can order them.
+                    record_event(EV_START, (gi, t, i))
+                    record_event(EV_FINISH, (gi, t, i))
+                    if ncons > 0:
+                        store.put((gi, t, i), out, ncons)
+                    else:
+                        pool.decref(out)
+                # Barrier passed: every worker read of this timestep's
+                # inputs is complete, so the consumers' references drop
+                # and fully-read slots recycle.
+                pool.decref_batch(ref for refs in in_refs for ref in refs)
+        store.assert_drained()
+        if pool.live_slots:
+            raise RuntimeError(
+                f"data-plane leak: {pool.live_slots} slots still live after "
+                "the run drained"
+            )
+        self._data_plane = pool_data_plane(pool, base=stats_base)

@@ -13,9 +13,11 @@ import collections
 import threading
 from typing import Dict, Sequence
 
+from ..core.bufpool import HeapSlabPool
 from ..core.executor_base import Executor
+from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
-from ._common import OutputStore, ScratchPool, TaskKey, run_point
+from ._common import OutputStore, ScratchPool, TaskKey, pool_data_plane, run_point
 
 
 class DependencyCountingScheduler:
@@ -87,6 +89,7 @@ class ThreadPoolTaskExecutor(Executor):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._data_plane: DataPlaneStats | None = None
 
     @property
     def cores(self) -> int:
@@ -98,6 +101,9 @@ class ThreadPoolTaskExecutor(Executor):
         sched = DependencyCountingScheduler(graphs)
         store = OutputStore()
         scratch = ScratchPool(graphs)
+        # Same address space, so a heap-backed slab pool: output buffers
+        # recycle across timesteps instead of being reallocated per task.
+        buffers = HeapSlabPool()
 
         def worker() -> None:
             try:
@@ -107,7 +113,8 @@ class ThreadPoolTaskExecutor(Executor):
                         return
                     gi, t, i = key
                     g = sched.graphs[gi]
-                    run_point(store, scratch, g, t, i, validate=validate)
+                    run_point(store, scratch, g, t, i, validate=validate,
+                              pool=buffers)
                     sched.complete(g, t, i)
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 sched.fail(exc)
@@ -118,8 +125,12 @@ class ThreadPoolTaskExecutor(Executor):
         ]
         for th in threads:
             th.start()
-        for th in threads:
-            th.join()
-        if sched.error is not None:
-            raise sched.error
-        store.assert_drained()
+        try:
+            for th in threads:
+                th.join()
+            if sched.error is not None:
+                raise sched.error
+            store.assert_drained()
+            self._data_plane = pool_data_plane(buffers)
+        finally:
+            buffers.close()

@@ -1,0 +1,280 @@
+"""Property-based tests of the slab buffer pool (the zero-copy data
+plane's allocator).
+
+The invariants the data plane rests on:
+
+* two live handles never alias the same memory — a unique fill written
+  through one handle is intact when read back through it after arbitrary
+  interleaved acquire/release traffic;
+* a released handle is *stale*: any later resolve raises
+  ``StaleHandleError`` (generation tags), as does releasing it again;
+* ``close()`` returns every shared-memory segment to the OS — no
+  ``/dev/shm`` leaks, even when slots are still live.
+
+All sequence-driven properties run against both backings (in-heap slabs
+for thread executors, ``multiprocessing.shared_memory`` slabs for the
+process executors).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bufpool
+from repro.core.bufpool import (
+    GEN_HEADER_BYTES,
+    MAX_SLOTS_PER_SLAB,
+    HeapSlabPool,
+    PoolClosedError,
+    SharedMemorySlabPool,
+    SlabPool,
+    StaleHandleError,
+    as_array,
+    size_class,
+)
+
+BACKINGS = [HeapSlabPool, SharedMemorySlabPool]
+
+
+def _fill(ref, token: int) -> None:
+    as_array(ref)[:] = np.arange(ref.nbytes, dtype=np.uint64).astype(np.uint8) + token
+
+
+def _expected(ref, token: int) -> np.ndarray:
+    return np.arange(ref.nbytes, dtype=np.uint64).astype(np.uint8) + token
+
+
+# ----------------------------------------------------------------------
+# Size classes
+# ----------------------------------------------------------------------
+def test_size_class_powers_of_two():
+    assert size_class(0) == bufpool.MIN_SLOT_BYTES
+    assert size_class(1) == bufpool.MIN_SLOT_BYTES
+    for n in (31, 32, 33, 1000, 4096, 65536):
+        cap = size_class(n)
+        assert cap >= n
+        assert cap & (cap - 1) == 0  # power of two
+    with pytest.raises(ValueError):
+        size_class(-1)
+
+
+# ----------------------------------------------------------------------
+# Sequence-driven aliasing / staleness property
+# ----------------------------------------------------------------------
+@st.composite
+def traffic(draw):
+    """A random acquire/release interleaving with payload sizes crossing
+    several size classes (including slab-growth boundaries)."""
+    steps = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(steps):
+        if draw(st.booleans()):
+            ops.append(("acquire", draw(st.integers(min_value=0, max_value=9000))))
+        else:
+            ops.append(("release", draw(st.integers(min_value=0, max_value=10**6))))
+    return ops
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+@settings(max_examples=40, deadline=None)
+@given(ops=traffic())
+def test_live_handles_never_alias(backing, ops):
+    """Under arbitrary acquire/release sequences, every live handle still
+    holds exactly the unique pattern written at acquire time, and every
+    released handle is stale."""
+    with backing() as pool:
+        live: list = []  # (ref, token)
+        released: list = []
+        token = 0
+        for op, arg in ops:
+            if op == "acquire":
+                token += 1
+                ref = pool.acquire(arg, refs=1)
+                _fill(ref, token)
+                live.append((ref, token))
+            elif live:
+                ref, _ = live.pop(arg % len(live))
+                pool.decref(ref)
+                released.append(ref)
+        for ref, token in live:
+            np.testing.assert_array_equal(as_array(ref), _expected(ref, token))
+        for ref in released:
+            with pytest.raises(StaleHandleError):
+                pool.resolve(ref)
+            with pytest.raises(StaleHandleError):
+                pool.decref(ref)
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+def test_refcount_lifecycle(backing):
+    """A slot stays live until the last reference drops, then recycles to
+    a later acquire with a bumped generation."""
+    with backing() as pool:
+        ref = pool.acquire(100, refs=2)
+        assert pool.refcount(ref) == 2
+        pool.decref(ref)
+        assert pool.refcount(ref) == 1
+        pool.incref(ref)
+        pool.decref(ref, n=2)
+        with pytest.raises(StaleHandleError):
+            pool.refcount(ref)
+        # The slot recycles: same backing slot, newer generation.
+        again = pool.acquire(100)
+        assert again.slot == ref.slot
+        assert again.generation > ref.generation
+        with pytest.raises(StaleHandleError):
+            pool.resolve(ref)
+        pool.decref(again)
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+def test_batch_ops_match_singles(backing):
+    with backing() as pool:
+        refs = pool.acquire_batch(512, [1, 2, 3])
+        assert [pool.refcount(r) for r in refs] == [1, 2, 3]
+        assert len({r.slot for r in refs}) == 3
+        pool.decref_batch(refs)  # drops one ref each
+        assert pool.live_slots == 2
+        pool.decref_batch(refs[1:])
+        pool.decref(refs[2])
+        assert pool.live_slots == 0
+        with pytest.raises(ValueError):
+            pool.acquire_batch(16, [1, 0])
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+def test_over_release_raises(backing):
+    with backing() as pool:
+        ref = pool.acquire(64)
+        pool.decref(ref)
+        with pytest.raises(StaleHandleError):
+            pool.decref(ref)
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+def test_closed_pool_rejects_acquire(backing):
+    pool = backing()
+    pool.acquire(16)
+    pool.close()
+    with pytest.raises(PoolClosedError):
+        pool.acquire(16)
+    pool.close()  # idempotent
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+def test_slab_growth_bounded(backing):
+    """Tiny size classes cap views per slab, so first-touch acquire cost
+    stays bounded instead of eagerly carving ~26k views out of a slab."""
+    with backing() as pool:
+        refs = [pool.acquire(16) for _ in range(MAX_SLOTS_PER_SLAB + 1)]
+        assert pool.stats.misses >= 2  # needed a second slab
+        assert len({r.slot for r in refs}) == len(refs)
+        pool.decref_batch(refs)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory specifics: segment hygiene and cross-snapshot staleness
+# ----------------------------------------------------------------------
+def _segment_paths(pool: SharedMemorySlabPool) -> list:
+    return ["/dev/shm/" + name for name in pool.segment_names]
+
+
+def test_close_unlinks_every_segment():
+    pool = SharedMemorySlabPool()
+    refs = [pool.acquire(n) for n in (16, 4096, 100_000)]
+    paths = _segment_paths(pool)
+    assert paths and all(os.path.exists(p) for p in paths)
+    # Close with slots still live: segments must still be returned to the
+    # OS (the refcount protocol is the executors' job, not the OS's).
+    assert refs
+    pool.close()
+    assert not any(os.path.exists(p) for p in paths)
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=0, max_value=70_000), max_size=12))
+def test_teardown_leaves_no_shm_segments(sizes):
+    before = set(os.listdir("/dev/shm"))
+    pool = SharedMemorySlabPool()
+    refs = [pool.acquire(n) for n in sizes]
+    for ref in refs[::2]:
+        pool.decref(ref)
+    pool.close()
+    leaked = set(os.listdir("/dev/shm")) - before
+    assert not leaked
+
+
+def test_generation_header_lives_in_segment():
+    """The generation tag is stored in the shared segment itself, so a
+    reader holding a fork-time snapshot of the pool still detects slots
+    recycled by the parent afterwards."""
+    pool = SharedMemorySlabPool()
+    try:
+        ref = pool.acquire(64)
+        seg = bufpool._attach_untracked(ref.segment)
+        try:
+            header = bytes(seg.buf[ref.offset - GEN_HEADER_BYTES : ref.offset])
+            assert int.from_bytes(header, "little") == ref.generation
+            pool.decref(ref)
+            header = bytes(seg.buf[ref.offset - GEN_HEADER_BYTES : ref.offset])
+            assert int.from_bytes(header, "little") == ref.generation + 1
+        finally:
+            seg.close()
+    finally:
+        pool.close()
+
+
+def test_reserve_prefaults_capacity():
+    pool = SharedMemorySlabPool()
+    try:
+        pool.reserve(4096, 32)
+        base = pool.stats.misses
+        refs = [pool.acquire(4096) for _ in range(32)]
+        assert pool.stats.misses == base  # all hits: capacity pre-reserved
+        pool.decref_batch(refs)
+    finally:
+        pool.close()
+
+
+def test_heap_refs_do_not_cross_processes():
+    """A heap-backed handle is meaningless in another process and must be
+    rejected, not silently resolved."""
+    import multiprocessing as mp
+
+    pool = HeapSlabPool()
+    try:
+        ref = pool.acquire(64)
+
+        def child(r, q):
+            # Drop the pool registry the way a spawn/exec child would see
+            # it: a fresh process without this pool.
+            bufpool._POOLS.clear()
+            try:
+                as_array(r)
+                q.put("resolved")
+            except StaleHandleError:
+                q.put("stale")
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                q.put(repr(exc))
+
+        ctx = mp.get_context("fork")
+        q = ctx.SimpleQueue()
+        proc = ctx.Process(target=child, args=(ref, q))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        assert q.get() == "stale"
+        pool.decref(ref)
+    finally:
+        pool.close()
+
+
+def test_isinstance_contract():
+    for backing in BACKINGS:
+        with backing() as pool:
+            assert isinstance(pool, SlabPool)

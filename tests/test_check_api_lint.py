@@ -196,6 +196,115 @@ def test_shared_mutation_waiver_honored():
     assert "api-unlocked-mutation" not in codes(diags)
 
 
+def test_private_base_is_abstract():
+    """A ``_``-prefixed executor base need not be complete; its public
+    subclass inherits the base's members toward the contract."""
+    diags = lint("""
+        class _SharedMachinery(Executor):
+            @property
+            def cores(self):
+                return 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+
+        class RealExecutor(_SharedMachinery):
+            name = "real"
+    """)
+    assert "api-missing-member" not in codes(diags)
+
+
+def test_incomplete_subclass_of_private_base_reported():
+    diags = lint("""
+        class _SharedMachinery(Executor):
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+
+        class RealExecutor(_SharedMachinery):
+            name = "real"
+    """)
+    bad = [d for d in diags if d.code == "api-missing-member"]
+    assert len(bad) == 1 and "'cores'" in bad[0].message
+    assert "RealExecutor" in bad[0].message
+
+
+def test_transitive_subclass_is_linted():
+    """Contract rules reach executors that subclass another executor in
+    the module, not just direct ``Executor`` subclasses."""
+    diags = lint("""
+        import time
+
+        class _Base(Executor):
+            cores = 1
+
+            def execute_graphs(self, graphs, *, validate=True):
+                pass
+
+        class Timed(_Base):
+            name = "timed"
+
+            def helper(self):
+                return time.perf_counter()
+    """)
+    assert "api-timing" in codes(diags)
+
+
+def test_raw_shm_reported():
+    diags = lint("""
+        from multiprocessing import shared_memory
+
+        def make_segment():
+            return shared_memory.SharedMemory(create=True, size=4096)
+    """)
+    assert "api-raw-shm" in codes(diags)
+
+
+def test_raw_shm_waiver_honored():
+    diags = lint("""
+        from multiprocessing import shared_memory
+
+        def make_segment():
+            return shared_memory.SharedMemory(create=True, size=4096)  # check: allow[raw-shm]
+    """)
+    assert "api-raw-shm" not in codes(diags)
+
+
+def test_ref_leak_reported():
+    diags = lint("""
+        def run(pool):
+            ref = pool.acquire(4096, refs=2)
+            return ref
+    """)
+    bad = [d for d in diags if d.code == "api-ref-leak"]
+    assert len(bad) == 1
+
+
+def test_ref_leak_balanced_passes():
+    diags = lint("""
+        def run(pool):
+            refs = pool.acquire_batch(4096, [1, 1])
+            pool.decref_batch(refs)
+    """)
+    assert "api-ref-leak" not in codes(diags)
+
+
+def test_ref_leak_close_counts_as_release():
+    diags = lint("""
+        def run(pool):
+            ref = pool.acquire(4096)
+            pool.close()
+    """)
+    assert "api-ref-leak" not in codes(diags)
+
+
+def test_lock_acquire_not_a_pool_acquisition():
+    diags = lint("""
+        def run(lock):
+            lock.acquire()
+    """)
+    assert "api-ref-leak" not in codes(diags)
+
+
 def test_syntax_error_reported():
     diags = lint_executor_api("def broken(:\n", "fake.py")
     assert codes(diags) == {"api-syntax"}

@@ -65,6 +65,34 @@ class TestMain:
                    "-no-validate"])
         assert rc == 0
 
+    def test_report_flag_prints_data_plane(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-type", "stencil_1d",
+                   "-output", "256", "-runtime", "threads", "--report"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Bytes Shared" in out
+        assert "Pool Hit Rate" in out
+
+    def test_report_flag_on_uninstrumented_executor(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-runtime", "serial",
+                   "--report"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Data Plane (not instrumented)" in out
+
+    def test_report_without_flag_omits_data_plane(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-type", "stencil_1d",
+                   "-output", "256", "-runtime", "threads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Bytes Shared" not in out
+
+    def test_report_rejected_with_metg(self, capsys):
+        rc = main(["-steps", "3", "-width", "2", "-runtime", "serial",
+                   "-metg", "--report"])
+        assert rc == 2
+        assert "--report" in capsys.readouterr().err
+
 
 class TestMETGMode:
     def test_simulated_metg_sweep(self, capsys):

@@ -1,0 +1,190 @@
+"""Differential executor-conformance suite.
+
+Every registered executor must produce *bytewise identical* task outputs to
+the serial executor for the same graphs — the strongest statement the repo
+can make that the twelve scheduling strategies implement one semantics.
+Outputs are snapshotted at publish time via
+:func:`repro.runtimes._common.capturing_outputs`, so pooled/zero-copy data
+planes are checked at exactly the moment consumers could observe them.
+
+The compared domain is every task with at least one consumer (tasks whose
+output crosses an edge); final-frontier outputs are dropped by all
+executors symmetrically and their correctness is covered by input
+validation of the runs themselves, which stays enabled throughout.
+
+A second axis runs each executor under the happens-before audit
+(``repro.check.audit_run``) and requires a diagnostic-free schedule.
+
+Marked ``conformance``: the suite is tier-1, and CI additionally runs it as
+its own parallel leg.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import audit_run
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.core.diagnostics import Severity
+from repro.runtimes import available_runtimes, make_executor
+from repro.runtimes._common import capturing_outputs, consumer_count
+
+pytestmark = pytest.mark.conformance
+
+ALL_RUNTIMES = available_runtimes()
+#: Same-address-space executors: cheap to run, get the full matrix.
+THREAD_SIDE = [
+    r for r in ALL_RUNTIMES if r not in ("serial", "processes", "shm_processes")
+]
+#: Cross-process executors fork a pool per instance; they get a reduced
+#: but still heterogeneous slice of the matrix.
+PROCESS_SIDE = ["processes", "shm_processes"]
+
+DEP_TYPES = [
+    DependenceType.TRIVIAL,
+    DependenceType.NO_COMM,
+    DependenceType.STENCIL_1D,
+    DependenceType.STENCIL_1D_PERIODIC,
+    DependenceType.FFT,
+    DependenceType.TREE,
+    DependenceType.RANDOM_NEAREST,
+]
+
+KERNELS = {
+    "empty": dict(kernel=Kernel(kernel_type=KernelType.EMPTY)),
+    "compute_bound": dict(
+        kernel=Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=4)
+    ),
+    "memory_bound": dict(
+        kernel=Kernel(kernel_type=KernelType.MEMORY_BOUND, iterations=2),
+        scratch_bytes_per_task=4096,
+    ),
+}
+
+
+def _graph(dep=DependenceType.STENCIL_1D, nbytes=4096, **kw) -> TaskGraph:
+    kw.setdefault("timesteps", 6)
+    kw.setdefault("max_width", 8)
+    return TaskGraph(dependence=dep, output_bytes_per_task=nbytes, **kw)
+
+
+#: Heterogeneous multi-graph workloads: mixed patterns, widths, payload
+#: sizes, and kernels running concurrently under one executor.
+HETEROGENEOUS = {
+    "mixed_patterns": lambda: [
+        _graph(DependenceType.STENCIL_1D, nbytes=256, graph_index=0),
+        _graph(DependenceType.FFT, nbytes=4096, max_width=4, graph_index=1),
+        _graph(DependenceType.TREE, nbytes=16, timesteps=4, graph_index=2),
+    ],
+    "mixed_kernels": lambda: [
+        _graph(
+            DependenceType.STENCIL_1D_PERIODIC,
+            nbytes=1024,
+            graph_index=0,
+            **KERNELS["compute_bound"],
+        ),
+        _graph(
+            DependenceType.RANDOM_NEAREST,
+            nbytes=64,
+            timesteps=5,
+            graph_index=1,
+            **KERNELS["memory_bound"],
+        ),
+    ],
+}
+
+
+def _communicated(graphs) -> set:
+    """Keys of all tasks whose output feeds at least one consumer."""
+    keys = set()
+    for g in graphs:
+        for t, i in g.points():
+            if consumer_count(g, t, i) > 0:
+                keys.add((g.graph_index, t, i))
+    return keys
+
+
+def _run_captured(runtime: str, graphs) -> dict:
+    """Outputs published by one run, restricted to communicated tasks."""
+    ex = make_executor(runtime, workers=2)
+    try:
+        with capturing_outputs() as sink:
+            result = ex.run(graphs)
+        assert result.total_tasks == sum(g.total_tasks() for g in graphs)
+        expected = _communicated(graphs)
+        missing = expected - sink.keys()
+        assert not missing, f"{runtime} never published {sorted(missing)[:5]}"
+        return {k: sink[k] for k in expected}
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+
+
+class _SerialReference:
+    """Memoized serial-executor output maps, keyed by scenario id (the
+    graphs are rebuilt per use, so executors never share instances)."""
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def __call__(self, scenario_id: str, graph_factory) -> dict:
+        if scenario_id not in self._cache:
+            self._cache[scenario_id] = _run_captured("serial", graph_factory())
+        return self._cache[scenario_id]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return _SerialReference()
+
+
+@pytest.mark.parametrize("dep", DEP_TYPES, ids=lambda d: d.value)
+@pytest.mark.parametrize("runtime", THREAD_SIDE)
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_thread_side_matches_serial(runtime, dep, nbytes, serial_reference):
+    factory = lambda: [_graph(dep, nbytes=nbytes)]  # noqa: E731
+    reference = serial_reference(f"dep-{dep.value}-{nbytes}", factory)
+    assert _run_captured(runtime, factory()) == reference
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=str)
+@pytest.mark.parametrize("runtime", THREAD_SIDE)
+def test_thread_side_kernels_match_serial(runtime, kernel, serial_reference):
+    factory = lambda: [_graph(**KERNELS[kernel])]  # noqa: E731
+    reference = serial_reference(f"kernel-{kernel}", factory)
+    assert _run_captured(runtime, factory()) == reference
+
+
+@pytest.mark.parametrize(
+    "dep",
+    [DependenceType.STENCIL_1D, DependenceType.FFT, DependenceType.RANDOM_NEAREST],
+    ids=lambda d: d.value,
+)
+@pytest.mark.parametrize("runtime", PROCESS_SIDE)
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_process_side_matches_serial(runtime, dep, nbytes, serial_reference):
+    factory = lambda: [_graph(dep, nbytes=nbytes)]  # noqa: E731
+    reference = serial_reference(f"dep-{dep.value}-{nbytes}", factory)
+    assert _run_captured(runtime, factory()) == reference
+
+
+@pytest.mark.parametrize("scenario", sorted(HETEROGENEOUS), ids=str)
+@pytest.mark.parametrize("runtime", THREAD_SIDE + PROCESS_SIDE)
+def test_heterogeneous_graphs_match_serial(runtime, scenario, serial_reference):
+    factory = HETEROGENEOUS[scenario]
+    reference = serial_reference(f"hetero-{scenario}", factory)
+    assert _run_captured(runtime, factory()) == reference
+
+
+@pytest.mark.parametrize("runtime", ALL_RUNTIMES)
+def test_audit_clean_schedule(runtime):
+    """Every executor's event trace passes the happens-before audit on a
+    communication-bearing pattern."""
+    ex = make_executor(runtime, workers=2)
+    try:
+        result = audit_run(ex, [_graph(DependenceType.STENCIL_1D, nbytes=256)])
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+    problems = [d for d in result.diagnostics if d.severity > Severity.INFO]
+    assert not problems, problems

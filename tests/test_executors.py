@@ -16,6 +16,7 @@ from repro.core import (
     TaskGraph,
     ValidationError,
 )
+from repro.core.bufpool import as_array
 from repro.runtimes import available_runtimes, make_executor
 
 ALL_RUNTIMES = available_runtimes()
@@ -110,12 +111,18 @@ def test_validation_detects_corrupted_producer(runtime, monkeypatch):
     surface the ValidationError raised by its consumers."""
     real = TaskGraph.execute_point
 
-    def corrupting(self, t, i, inputs, scratch=None, validate=True):
-        out = real(self, t, i, inputs, scratch=scratch, validate=validate)
-        if (t, i) == (3, 2) and out.nbytes:
-            out = out.copy()
-            out[0] ^= 0xFF
-        return out
+    def corrupting(self, t, i, inputs, scratch=None, validate=True, out=None):
+        result = real(self, t, i, inputs, scratch=scratch, validate=validate,
+                      out=out)
+        if (t, i) == (3, 2):
+            buf = as_array(result)
+            if buf.nbytes:
+                if out is None:
+                    buf = buf.copy()
+                    buf[0] ^= 0xFF
+                    return buf
+                buf[0] ^= 0xFF  # pooled path: corrupt the slot in place
+        return result
 
     monkeypatch.setattr(TaskGraph, "execute_point", corrupting)
     g = make_graph(DependenceType.STENCIL_1D)
@@ -229,8 +236,8 @@ class TestRegistry:
     def test_expected_runtime_set(self):
         assert set(available_runtimes()) == {
             "serial", "bulk_sync", "p2p", "threads", "processes",
-            "dataflow", "ptg", "actors", "centralized", "futures",
-            "asyncio",
+            "shm_processes", "dataflow", "ptg", "actors", "centralized",
+            "futures", "asyncio",
         }
 
     def test_kwargs_forwarded(self):
