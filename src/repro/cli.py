@@ -44,8 +44,26 @@ from .sim.simulator import simulate
 from .sim.systems import all_systems, get_system, scaled_for
 
 
+def _executor_kwargs(app: AppConfig) -> dict:
+    """Fault-tolerance options forwarded to ``make_executor``."""
+    kwargs: dict = {}
+    if app.timeout is not None:
+        kwargs["timeout"] = app.timeout
+    if app.inject_fault is not None:
+        from .faults import parse_fault
+
+        kwargs["fault"] = parse_fault(app.inject_fault)
+    return kwargs
+
+
 def run_config(app: AppConfig) -> RunResult:
-    """Execute a parsed configuration and return its result."""
+    """Execute a parsed configuration and return its result.
+
+    Transient worker failures (a crashed or deadline-killed worker) are
+    retried up to ``app.max_retries`` times — the executor's pool
+    self-heals between attempts, so a retry costs a respawn, not a
+    refork of the surviving workers.
+    """
     if app.runtime.startswith("sim:"):
         system = get_system(app.runtime[len("sim:"):])
         machine = MachineSpec(
@@ -53,11 +71,26 @@ def run_config(app: AppConfig) -> RunResult:
             cores_per_node=app.cores_per_node or 32,
         )
         return simulate(app.graphs, machine, scaled_for(system, machine), ARIES)
-    executor = make_executor(app.runtime, workers=app.workers)
-    return executor.run(app.graphs, validate=app.validate)
+    import time
+
+    from .metg.efficiency import RETRY_BACKOFF_SECONDS, TRANSIENT_ERRORS
+
+    executor = make_executor(
+        app.runtime, workers=app.workers, **_executor_kwargs(app)
+    )
+    retries = app.max_retries if app.max_retries is not None else 0
+    attempt = 0
+    while True:
+        try:
+            return executor.run(app.graphs, validate=app.validate)
+        except TRANSIENT_ERRORS:
+            if attempt >= retries:
+                raise
+            time.sleep(RETRY_BACKOFF_SECONDS * (2 ** attempt))
+            attempt += 1
 
 
-def run_metg(app: AppConfig, target: float) -> str:
+def run_metg(app: AppConfig, target: float, *, report: bool = False) -> str:
     """Run a METG sweep for the configured graphs and runtime.
 
     The configured graphs serve as the workload template; the sweep varies
@@ -84,7 +117,12 @@ def run_metg(app: AppConfig, target: float) -> str:
         runner = SimRunner(app.runtime[len("sim:"):], machine)
         max_iterations = 1 << 36
     else:
-        runner = RealRunner(make_executor(app.runtime, workers=app.workers))
+        runner = RealRunner(
+            make_executor(
+                app.runtime, workers=app.workers, **_executor_kwargs(app)
+            ),
+            max_retries=app.max_retries,
+        )
         max_iterations = 1 << 24  # real kernels: bound the sweep
     result = metg(runner, factory, target_efficiency=target,
                   max_iterations=max_iterations)
@@ -94,6 +132,22 @@ def run_metg(app: AppConfig, target: float) -> str:
         f"Efficiency At Crossing {result.above.efficiency:.3f}",
         f"Iterations At Crossing {result.above.iterations}",
     ]
+    retries = sum(
+        m.result.faults.probe_retries
+        for m in result.history
+        if m.result.faults is not None
+    )
+    if report or retries:
+        # Fault visibility (--report): a sweep that burned retries is a
+        # measurement caveat even when every probe eventually succeeded.
+        lines.append(f"Probe Retries {retries}")
+        faults = getattr(getattr(runner, "executor", None), "_fault_stats", None)
+        if report and faults is not None:
+            lines.append(
+                f"Worker Crashes {faults.worker_crashes} "
+                f"({faults.worker_timeouts} deadline timeouts, "
+                f"{faults.workers_respawned} respawned)"
+            )
     return "\n".join(lines)
 
 
@@ -251,11 +305,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     try:
         if metg_target is not None:
-            if report_enabled:
-                print("error: --report applies to single runs, not -metg sweeps",
-                      file=sys.stderr)
-                return 2
-            print(run_metg(app, metg_target))
+            print(run_metg(app, metg_target, report=report_enabled))
             return 0
         result = run_config(app)
     except ValueError as e:
@@ -293,7 +343,19 @@ app options:
   -persistent-imbalance   per-column (persistent) imbalance multipliers
   --audit            record the schedule and run the happens-before audit
   --report           append data-plane counters (bytes copied/shared, pool
-                     hit rate) to the run report
+                     hit rate) and fault/retry counters to the run report
+
+fault tolerance (process executors; env defaults in parentheses):
+  --timeout SECONDS  per-round worker deadline — a wedged worker surfaces
+                     as WorkerTimeoutError instead of a hang
+                     (TASKBENCH_TIMEOUT)
+  --max-retries N    retry a run/probe whose worker crashed or timed out,
+                     with backoff; the pool self-heals between attempts
+                     (TASKBENCH_MAX_RETRIES)
+  --inject-fault S   arm one fault, S = kind:worker:round[:seconds] with
+                     kind one of crash (SIGKILL), wedge (SIGTERM-ignoring
+                     busy loop), delay (transient stall)
+                     (TASKBENCH_INJECT_FAULT)
 
 subcommands:
   check [graph/app options] [-budget SECONDS]

@@ -310,6 +310,32 @@ class SlabPool:
             self._check(ref)
             return self._refcount[ref.slot]
 
+    def release_live(self) -> int:
+        """Force-release every live slot; returns how many were reclaimed.
+
+        Crash-recovery unwinding: when a run aborts mid-round (a worker
+        crashed or missed its deadline), the consumer decrefs that would
+        have followed the barrier never happen and the aborted round's
+        output slots stay live.  Once every worker is dead or drained no
+        write can race the release, so the owning executor reclaims the
+        slots wholesale — the next run starts from a zero-live pool
+        instead of masking the original failure with the per-run
+        data-plane leak check.  Outstanding handles go stale (generation
+        bump), so any erroneous late read still fails loudly.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            released = 0
+            for slot, refs in enumerate(self._refcount):
+                if refs > 0:
+                    self._refcount[slot] = 0
+                    self._stamp_generation(slot, self._generation[slot] + 1)
+                    self._free[self._capacity[slot]].append(slot)
+                    released += 1
+            self._live -= released
+            return released
+
     def resolve(self, ref: PayloadRef) -> np.ndarray:
         """The live payload bytes behind ``ref`` as a mutable uint8 view."""
         self._check(ref)
@@ -402,6 +428,8 @@ class SharedMemorySlabPool(SlabPool):
         count = max(1, min(MAX_SLOTS_PER_SLAB, SLAB_BYTES // stride))
         seg = shared_memory.SharedMemory(create=True, size=count * stride)
         self._segments.append(seg)
+        with _created_lock:
+            _CREATED_SEGMENTS[seg.name] = self.pool_id
         base = np.frombuffer(seg.buf, dtype=np.uint8)
         for k in range(count):
             start = k * stride
@@ -464,7 +492,56 @@ class SharedMemorySlabPool(SlabPool):
                 seg.close()
             except BufferError:  # pragma: no cover - view still exported
                 pass
+            with _created_lock:
+                _CREATED_SEGMENTS.pop(seg.name, None)
         self._segments.clear()
+
+
+# ----------------------------------------------------------------------
+# Orphaned-segment accounting
+# ----------------------------------------------------------------------
+_created_lock = threading.Lock()
+#: Shared-memory segments created by this process: name -> owning pool id.
+_CREATED_SEGMENTS: Dict[str, int] = {}
+
+
+def orphaned_segments() -> List[str]:
+    """Names of segments this process created whose owning pool is no
+    longer registered (dropped or deregistered without a clean teardown —
+    e.g. an injected fault unwound the owner before ``close()`` ran)."""
+    with _created_lock:
+        return sorted(
+            name
+            for name, pool_id in _CREATED_SEGMENTS.items()
+            if pool_id not in _POOLS
+        )
+
+
+def sweep_orphaned_segments() -> List[str]:
+    """Unlink every orphaned segment; returns the names swept.
+
+    The recovery-path counterpart of :meth:`SlabPool.close`: pools normally
+    unlink their segments on teardown, but a fault can strand a segment in
+    ``/dev/shm`` (owner unwound mid-operation, teardown interrupted).  Only
+    segments *created by this process* and no longer owned by a live pool
+    are touched, so concurrent benchmarks cannot sweep each other.
+    """
+    swept: List[str] = []
+    for name in orphaned_segments():
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            pass
+        else:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced away
+                pass
+            seg.close()
+        with _created_lock:
+            _CREATED_SEGMENTS.pop(name, None)
+        swept.append(name)
+    return swept
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,12 @@ class AppConfig:
     cores_per_node: int = 0  # 0 = use the runtime's default
     validate: bool = True
     verbose: bool = False
+    #: Per-round worker deadline in seconds (None = runtime default).
+    timeout: float | None = None
+    #: Retry budget for transiently-failed probes (None = runtime default).
+    max_retries: int | None = None
+    #: Armed fault-injection spec ("kind:worker:round[:seconds]").
+    inject_fault: str | None = None
 
 
 @dataclass
@@ -163,6 +169,19 @@ def parse_args(argv: Sequence[str]) -> AppConfig:
             app.validate = False
         elif flag == "-verbose":
             app.verbose = True
+        elif flag in ("-timeout", "--timeout"):
+            app.timeout = _to_float(flag, take_value(flag))
+        elif flag in ("-max-retries", "--max-retries"):
+            app.max_retries = _to_int(flag, take_value(flag))
+        elif flag in ("-inject-fault", "--inject-fault"):
+            spec = take_value(flag)
+            try:
+                from ..faults import parse_fault
+
+                parse_fault(spec)  # validate eagerly; stored as text
+            except ValueError as e:
+                raise ConfigError(str(e)) from None
+            app.inject_fault = spec
         else:
             raise ConfigError(f"unknown flag {flag!r}")
 
@@ -174,6 +193,10 @@ def parse_args(argv: Sequence[str]) -> AppConfig:
         raise ConfigError(f"-workers must be >= 1, got {app.workers}")
     if app.nodes < 1:
         raise ConfigError(f"-nodes must be >= 1, got {app.nodes}")
+    if app.timeout is not None and app.timeout <= 0:
+        raise ConfigError(f"-timeout must be > 0, got {app.timeout}")
+    if app.max_retries is not None and app.max_retries < 0:
+        raise ConfigError(f"-max-retries must be >= 0, got {app.max_retries}")
     return app
 
 

@@ -66,12 +66,14 @@ class Executor(abc.ABC):
         start = time.perf_counter()
         self.execute_graphs(graphs, validate=validate)
         elapsed = time.perf_counter() - start
-        # Executors that instrument their data plane leave a stats record on
-        # the instance (see repro.core.bufpool); surface it in the result.
+        # Executors that instrument their data plane (repro.core.bufpool)
+        # or supervise worker faults leave stats records on the instance;
+        # surface them in the result.
         stats = getattr(self, "_data_plane", None)
+        faults = getattr(self, "_fault_stats", None)
         return summarize_graphs(
             self.name, graphs, elapsed, self.cores, validated=validate,
-            data_plane=stats,
+            data_plane=stats, faults=faults,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -66,6 +66,52 @@ class DataPlaneStats:
 
 
 @dataclass(frozen=True)
+class FaultStats:
+    """Fault-tolerance accounting of a run (crash supervision layer).
+
+    The process executors supervise their fork-worker pools: a killed
+    worker surfaces as a crash, a wedged one as a deadline timeout, and
+    both are respawned in place on the next run.  At the METG level a
+    probe whose run failed transiently is retried with backoff.  These
+    counters make that machinery's activity visible in ``--report`` —
+    a sweep that silently burned retries is a measurement caveat.
+    """
+
+    worker_crashes: int = 0
+    worker_timeouts: int = 0
+    workers_respawned: int = 0
+    probe_retries: int = 0
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault activity was recorded at all."""
+        return bool(
+            self.worker_crashes
+            or self.worker_timeouts
+            or self.workers_respawned
+            or self.probe_retries
+        )
+
+    def merged(self, other: "FaultStats") -> "FaultStats":
+        """Sum of two fault records (e.g. dropped pool + live pool)."""
+        return FaultStats(
+            worker_crashes=self.worker_crashes + other.worker_crashes,
+            worker_timeouts=self.worker_timeouts + other.worker_timeouts,
+            workers_respawned=self.workers_respawned + other.workers_respawned,
+            probe_retries=self.probe_retries + other.probe_retries,
+        )
+
+    def report_lines(self) -> List[str]:
+        """Fault section of the uniform report."""
+        return [
+            f"Worker Crashes {self.worker_crashes} "
+            f"({self.worker_timeouts} deadline timeouts)",
+            f"Workers Respawned {self.workers_respawned}",
+            f"Probe Retries {self.probe_retries}",
+        ]
+
+
+@dataclass(frozen=True)
 class RunResult:
     """Outcome of executing a set of task graphs on some executor.
 
@@ -88,6 +134,9 @@ class RunResult:
         Payload-movement counters for executors that report them (see
         :class:`DataPlaneStats`); ``None`` when the executor does not
         instrument its data plane.
+    faults:
+        Fault-tolerance counters (see :class:`FaultStats`); ``None`` when
+        no fault activity was observed (or the executor is unsupervised).
     """
 
     executor: str
@@ -99,6 +148,7 @@ class RunResult:
     total_bytes: int = 0
     validated: bool = True
     data_plane: Optional[DataPlaneStats] = None
+    faults: Optional[FaultStats] = None
 
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
@@ -167,6 +217,8 @@ class RunResult:
                 lines.extend(self.data_plane.report_lines())
             else:
                 lines.append("Data Plane (not instrumented)")
+            if self.faults is not None:
+                lines.extend(self.faults.report_lines())
         return "\n".join(lines)
 
     def with_elapsed(self, elapsed_seconds: float) -> "RunResult":
@@ -182,6 +234,7 @@ def summarize_graphs(
     *,
     validated: bool = True,
     data_plane: Optional[DataPlaneStats] = None,
+    faults: Optional[FaultStats] = None,
 ) -> RunResult:
     """Build a :class:`RunResult` from graph-level accounting.
 
@@ -201,4 +254,5 @@ def summarize_graphs(
         total_bytes=sum(g.total_bytes() for g in graphs),
         validated=validated,
         data_plane=data_plane,
+        faults=faults,
     )

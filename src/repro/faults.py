@@ -1,0 +1,156 @@
+"""Fault injection and fault-tolerance configuration.
+
+The paper's METG methodology re-runs one executor configuration dozens of
+times per sweep (§4); a single wedged or killed worker process must not
+hang — or abort — the whole benchmark.  This module is the *control* side
+of the fault-tolerance layer:
+
+* :class:`FaultSpec` describes one injected fault: ``kind`` (``crash`` =
+  SIGKILL, ``wedge`` = SIGTERM-ignoring busy loop, ``delay`` = transient
+  stall), the target worker index, and the worker-local round at which it
+  fires;
+* :func:`parse_fault` parses the ``kind:worker:round[:seconds]`` syntax
+  used by ``task-bench --inject-fault`` and the ``TASKBENCH_INJECT_FAULT``
+  environment variable;
+* :func:`apply_fault` *executes* a fault inside a worker process (called
+  by :mod:`repro.runtimes._procpool` at the chosen round);
+* :func:`default_timeout` / :func:`default_max_retries` read the
+  environment-level defaults (``TASKBENCH_TIMEOUT``,
+  ``TASKBENCH_MAX_RETRIES``) so test suites and CI chaos legs can arm
+  deadlines and retries without threading flags through every call site.
+
+Faults are **transient by construction**: a fault is attached to the first
+generation of a pool's workers only, so a respawned worker runs clean and
+a retried probe succeeds.  This mirrors how TaPS treats failure behavior
+as a first-class evaluation axis — the benchmark must *survive* the fault
+to measure its cost.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("crash", "wedge", "delay")
+
+#: Environment variables honored by the fault-tolerance layer.
+ENV_FAULT = "TASKBENCH_INJECT_FAULT"
+ENV_TIMEOUT = "TASKBENCH_TIMEOUT"
+ENV_MAX_RETRIES = "TASKBENCH_MAX_RETRIES"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: ``kind`` at (``worker``, ``round_index``).
+
+    ``round_index`` counts the chunk rounds a single worker process has
+    executed (broadcasts are not counted), so ``crash:0:3`` kills worker 0
+    immediately before it would execute its fourth round of chunks.
+    """
+
+    kind: str
+    worker: int
+    round_index: int
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.worker < 0:
+            raise ValueError(f"fault worker must be >= 0, got {self.worker}")
+        if self.round_index < 0:
+            raise ValueError(
+                f"fault round must be >= 0, got {self.round_index}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"fault delay must be >= 0, got {self.delay_seconds}"
+            )
+
+
+def parse_fault(spec: str) -> FaultSpec:
+    """Parse ``kind:worker:round[:seconds]`` into a :class:`FaultSpec`.
+
+    Examples: ``crash:0:3`` (SIGKILL worker 0 at its fourth round),
+    ``wedge:1:0`` (worker 1 busy-loops from its first round),
+    ``delay:0:2:0.2`` (worker 0 stalls 200 ms before its third round).
+    """
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"malformed fault spec {spec!r}; expected kind:worker:round[:seconds]"
+        )
+    kind = parts[0].strip().lower()
+    try:
+        worker = int(parts[1])
+        round_index = int(parts[2])
+    except ValueError:
+        raise ValueError(
+            f"malformed fault spec {spec!r}: worker and round must be integers"
+        ) from None
+    if len(parts) == 4:
+        try:
+            delay = float(parts[3])
+        except ValueError:
+            raise ValueError(
+                f"malformed fault spec {spec!r}: seconds must be a number"
+            ) from None
+        return FaultSpec(kind, worker, round_index, delay)
+    return FaultSpec(kind, worker, round_index)
+
+
+def fault_from_env() -> FaultSpec | None:
+    """The fault armed via ``TASKBENCH_INJECT_FAULT``, if any."""
+    spec = os.environ.get(ENV_FAULT, "").strip()
+    return parse_fault(spec) if spec else None
+
+
+def default_timeout() -> float | None:
+    """Per-round deadline (seconds) from ``TASKBENCH_TIMEOUT``; ``None``
+    (no deadline) when unset or empty."""
+    raw = os.environ.get(ENV_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{ENV_TIMEOUT} must be > 0, got {raw!r}")
+    return value
+
+
+def default_max_retries() -> int:
+    """Transient-failure retry budget from ``TASKBENCH_MAX_RETRIES``
+    (default 0: fail fast)."""
+    raw = os.environ.get(ENV_MAX_RETRIES, "").strip()
+    if not raw:
+        return 0
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"{ENV_MAX_RETRIES} must be >= 0, got {raw!r}")
+    return value
+
+
+def apply_fault(fault: FaultSpec) -> None:
+    """Execute ``fault`` in the calling (worker) process.
+
+    ``crash`` and ``wedge`` never return; ``delay`` stalls and returns so
+    the round still completes (exercising the deadline machinery without
+    failing the run).
+    """
+    if fault.kind == "crash":
+        # SIGKILL: no cleanup, no exception shipped to the parent — the
+        # parent must detect the death through the broken pipe/heartbeat.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.kind == "wedge":
+        # A SIGTERM-ignoring busy loop: the parent's deadline must fire,
+        # and shutdown must escalate terminate() -> kill() to reap it.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:  # pragma: no cover - the process is killed externally
+            pass
+    elif fault.kind == "delay":
+        time.sleep(fault.delay_seconds)

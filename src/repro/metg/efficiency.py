@@ -8,13 +8,25 @@ mean task granularity.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
 from ..core.kernels import Kernel
-from ..core.metrics import RunResult
+from ..core.metrics import FaultStats, RunResult
 from ..core.task_graph import TaskGraph
 from ..core.types import KernelType
+from ..runtimes._procpool import WorkerCrashError, WorkerTimeoutError
+
+#: Failures considered transient at the probe level: the pool supervised
+#: them, reaped the dead worker, and will self-heal on the next run — so
+#: re-running the probe is sound and cheap (no refork of survivors).
+TRANSIENT_ERRORS = (WorkerCrashError, WorkerTimeoutError)
+
+#: First retry backoff; doubles per attempt (a crashed probe's respawn is
+#: cheap, but a timeout often means the host is momentarily oversubscribed).
+RETRY_BACKOFF_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -126,14 +138,44 @@ def memory_workload(
 
 
 def measure(runner, factory: GraphFactory, iterations: int,
-            *, metric: str = "flops") -> Measurement:
+            *, metric: str = "flops",
+            max_retries: int | None = None) -> Measurement:
     """Run the workload at one problem size and compute its efficiency.
 
     ``metric`` selects the throughput measure: ``"flops"`` (compute-bound)
     or ``"bytes"`` (memory-bound), against the runner's calibrated peak.
+
+    Transient worker failures (a crashed or deadline-killed worker — see
+    :data:`TRANSIENT_ERRORS`) are retried with exponential backoff up to
+    ``max_retries`` times (default: the runner's ``max_retries`` attribute,
+    else 0), so one injected or real crash costs one probe rather than the
+    whole sweep.  Retries that occurred are recorded in the measurement's
+    ``result.faults.probe_retries``.
     """
     graphs = factory(iterations)
-    result = runner.run(graphs)
+    budget = (
+        max_retries
+        if max_retries is not None
+        else getattr(runner, "max_retries", 0)
+    )
+    attempt = 0
+    while True:
+        try:
+            result = runner.run(graphs)
+            break
+        except TRANSIENT_ERRORS:
+            if attempt >= budget:
+                raise
+            time.sleep(RETRY_BACKOFF_SECONDS * (2 ** attempt))
+            attempt += 1
+    if attempt:
+        faults = result.faults or FaultStats()
+        result = dataclasses.replace(
+            result,
+            faults=dataclasses.replace(
+                faults, probe_retries=faults.probe_retries + attempt
+            ),
+        )
     if metric == "flops":
         eff = result.flops_per_second / runner.peak_flops
     elif metric == "bytes":

@@ -85,9 +85,16 @@ def metg(
     while hi.efficiency < target_efficiency:
         lo = hi
         if n >= max_iterations:
+            # Report the best efficiency seen anywhere in the sweep, not
+            # the last probe's: real efficiency curves are noisy and
+            # non-monotone, so the final measurement can sit well below
+            # the true peak.
+            peak = max(history, key=lambda m: m.efficiency)
             raise METGUnachievable(
-                f"{runner.name}: efficiency peaked at {hi.efficiency:.3f} "
-                f"(target {target_efficiency}) after {n} iterations/task"
+                f"{runner.name}: efficiency peaked at {peak.efficiency:.3f} "
+                f"at {peak.iterations} iterations/task (target "
+                f"{target_efficiency}, {len(history)} probes up to "
+                f"{n} iterations/task)"
             )
         n = min(n * 8, max_iterations)
         hi = probe(n)

@@ -74,11 +74,26 @@ class RealRunner:
     The peak FLOP/s reference is calibrated empirically — the rate of the
     actual compute kernel on this host times the worker count — mirroring
     the paper's empirical calibration of Cori's 1.26 TFLOP/s.
+
+    ``max_retries`` is the per-probe retry budget for transient worker
+    failures (read by :func:`repro.metg.efficiency.measure`); the default
+    comes from the ``TASKBENCH_MAX_RETRIES`` environment variable.
     """
 
-    def __init__(self, executor: Executor, *, validate: bool = False) -> None:
+    def __init__(
+        self,
+        executor: Executor,
+        *,
+        validate: bool = False,
+        max_retries: int | None = None,
+    ) -> None:
+        from ..faults import default_max_retries
+
         self.executor = executor
         self.validate = validate
+        self.max_retries = (
+            max_retries if max_retries is not None else default_max_retries()
+        )
         self._peak_per_core: float | None = None
 
     @property

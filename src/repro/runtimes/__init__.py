@@ -23,6 +23,7 @@ from .registry import available_runtimes, make_executor
 from .serial import SerialExecutor
 from .threads import ThreadPoolTaskExecutor
 from ._common import OutputStore, ScratchPool
+from ._procpool import ForkWorkerPool, WorkerCrashError, WorkerTimeoutError
 
 __all__ = [
     "ActorExecutor",
@@ -31,6 +32,7 @@ __all__ = [
     "CentralizedExecutor",
     "DataflowExecutor",
     "ExpandedGraph",
+    "ForkWorkerPool",
     "FuturesExecutor",
     "Mailbox",
     "OutputStore",
@@ -42,6 +44,8 @@ __all__ = [
     "SerialExecutor",
     "ScratchPool",
     "ThreadPoolTaskExecutor",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "available_runtimes",
     "block_owner",
     "expand",

@@ -34,10 +34,11 @@ from typing import Any, Callable, ClassVar, Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..core.executor_base import Executor
-from ..core.metrics import DataPlaneStats
+from ..core.metrics import DataPlaneStats, FaultStats
 from ..core.task_graph import TaskGraph
+from ..faults import FaultSpec, default_timeout, fault_from_env
 from ._common import EV_FINISH, EV_START, OutputStore, consumer_count, record_event
-from ._procpool import ForkWorkerPool
+from ._procpool import ForkWorkerPool, WorkerCrashError, WorkerTimeoutError
 
 # Per-process caches, initialized lazily inside workers.
 _WORKER_GRAPHS: Dict[int, TaskGraph] = {}
@@ -120,18 +121,35 @@ def _worker_chunk(
 
 class _PhasedProcessExecutor(Executor):
     """Shared machinery of the process executors: a persistent
-    :class:`ForkWorkerPool` plus cross-run worker graph-cache coherence."""
+    :class:`ForkWorkerPool` plus cross-run worker graph-cache coherence
+    and crash supervision (pool self-healing across runs).
+
+    ``timeout`` is the per-round deadline forwarded to the pool (default:
+    the ``TASKBENCH_TIMEOUT`` environment variable, else no deadline);
+    ``fault`` arms one injected fault on the pool's first worker
+    generation (default: ``TASKBENCH_INJECT_FAULT``)."""
 
     #: Module-level chunk function the pool's workers run (set by subclass).
     chunk_fn: ClassVar[Callable[[Any], Any]]
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        timeout: float | None = None,
+        fault: FaultSpec | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.timeout = timeout if timeout is not None else default_timeout()
+        self.fault = fault if fault is not None else fault_from_env()
         self._data_plane: DataPlaneStats | None = None
+        self._fault_stats: FaultStats | None = None
         self._procs: ForkWorkerPool | None = None
         self._known: Dict[int, TaskGraph] = {}
+        # Supervision counters carried over from pools that were dropped.
+        self._fault_base = FaultStats()
 
     @property
     def cores(self) -> int:
@@ -141,9 +159,25 @@ class _PhasedProcessExecutor(Executor):
         """Release the worker processes.  Optional — the pool also tears
         itself down when the executor is garbage-collected."""
         if self._procs is not None:
+            self._fault_base = self._snapshot_faults() or self._fault_base
             self._procs.close()
             self._procs = None
         self._known = {}
+
+    def _snapshot_faults(self) -> FaultStats | None:
+        """Cumulative supervision counters (dropped pools + live pool);
+        ``None`` while no fault has ever been observed."""
+        stats = self._fault_base
+        pool = self._procs
+        if pool is not None:
+            stats = stats.merged(
+                FaultStats(
+                    worker_crashes=pool.crashes,
+                    worker_timeouts=pool.timeouts,
+                    workers_respawned=pool.respawns,
+                )
+            )
+        return stats if stats.any else None
 
     def _prefork(self, graphs: Sequence[TaskGraph]) -> None:
         """Hook: per-executor resources that must exist before the fork."""
@@ -160,17 +194,25 @@ class _PhasedProcessExecutor(Executor):
                 self.workers,
                 initializer=_worker_init,
                 initargs=(list(wire.values()),),
+                timeout=self.timeout,
+                fault=self.fault,
             )
             self._known = wire
             return self._procs
         stale = [wire[gi] for gi in wire if self._known.get(gi) != wire[gi]]
+        self._known.update({g.graph_index: g for g in stale})
+        # Self-healing: respawn any worker that died (crash or deadline
+        # kill) in a previous run.  Respawned workers fork from the
+        # *current* parent — inheriting every live shm segment mapping —
+        # and boot via the initializer with the full known-graph set, so
+        # the replayed cache state is coherent without a pool-wide replay.
+        self._procs.heal(initargs=(list(self._known.values()),))
         if stale:
             # A reused pool may hold a different graph under a reused
             # index.  The broadcast reaches every worker — chunk
             # assignment alone might not — so no worker can execute a
             # stale graph later in the run.
             self._procs.broadcast(_worker_update, stale)
-            self._known.update({g.graph_index: g for g in stale})
         return self._procs
 
     def execute_graphs(
@@ -178,11 +220,22 @@ class _PhasedProcessExecutor(Executor):
     ) -> None:
         try:
             self._execute(graphs, validate)
+        except (WorkerCrashError, WorkerTimeoutError):
+            # The pool supervised the failure: dead workers are already
+            # reaped and marked, surviving pipes drained.  Keep the warm
+            # pool — the next run heals it in place (no full refork).
+            self._recover()
+            raise
         except BaseException:
-            # Worker/pool state is unknown after a failure: drop the pool
-            # so the next run starts from a coherent fork.
+            # Anything else leaves worker/pool state unknown: drop the
+            # pool so the next run starts from a coherent fork.
             self.close()
             raise
+        finally:
+            self._fault_stats = self._snapshot_faults()
+
+    def _recover(self) -> None:
+        """Hook: release per-run resources after a supervised failure."""
 
     def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
         raise NotImplementedError

@@ -23,19 +23,27 @@ from .serial import SerialExecutor
 from .shm import ShmProcessPoolExecutor
 from .threads import ThreadPoolTaskExecutor
 
+# ``timeout`` (per-round worker deadline) and ``fault`` (injected fault)
+# belong to the supervised process executors; the same-address-space
+# executors accept and ignore them so callers can pass fault-tolerance
+# options uniformly (e.g. from the CLI) without knowing the substrate.
 _FACTORIES: Dict[str, Callable[..., Executor]] = {
     "serial": lambda workers=1, **kw: SerialExecutor(),
     "bulk_sync": lambda workers=2, **kw: BulkSyncExecutor(workers),
     "p2p": lambda workers=2, **kw: P2PExecutor(workers),
     "threads": lambda workers=2, **kw: ThreadPoolTaskExecutor(workers),
-    "processes": lambda workers=2, **kw: ProcessPoolExecutor(workers),
-    "shm_processes": lambda workers=2, **kw: ShmProcessPoolExecutor(workers),
-    "dataflow": lambda workers=2, **kw: DataflowExecutor(workers, **kw),
+    "processes": lambda workers=2, timeout=None, fault=None, **kw:
+        ProcessPoolExecutor(workers, timeout=timeout, fault=fault),
+    "shm_processes": lambda workers=2, timeout=None, fault=None, **kw:
+        ShmProcessPoolExecutor(workers, timeout=timeout, fault=fault),
+    "dataflow": lambda workers=2, timeout=None, fault=None, **kw:
+        DataflowExecutor(workers, **kw),
     "futures": lambda workers=2, **kw: FuturesExecutor(workers),
     "asyncio": lambda workers=2, **kw: AsyncioExecutor(workers),
     "ptg": lambda workers=2, **kw: PTGExecutor(workers),
     "actors": lambda workers=2, **kw: ActorExecutor(workers),
-    "centralized": lambda workers=2, **kw: CentralizedExecutor(workers, **kw),
+    "centralized": lambda workers=2, timeout=None, fault=None, **kw:
+        CentralizedExecutor(workers, **kw),
 }
 
 

@@ -38,7 +38,11 @@ import dataclasses
 import weakref
 from typing import List, Sequence, Tuple
 
-from ..core.bufpool import PayloadRef, SharedMemorySlabPool
+from ..core.bufpool import (
+    PayloadRef,
+    SharedMemorySlabPool,
+    sweep_orphaned_segments,
+)
 from ..core.task_graph import TaskGraph
 from ._common import (
     EV_FINISH,
@@ -83,8 +87,8 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
     name = "shm_processes"
     chunk_fn = staticmethod(_shm_worker_chunk)
 
-    def __init__(self, workers: int = 2) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int = 2, **kwargs) -> None:
+        super().__init__(workers, **kwargs)
         self._buffers: SharedMemorySlabPool | None = None
 
     def close(self) -> None:
@@ -92,6 +96,16 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
         if self._buffers is not None:
             self._buffers.close()
             self._buffers = None
+
+    def _recover(self) -> None:
+        """After a supervised worker failure: reclaim every slot the
+        aborted run left live (failed workers are dead, survivors drained,
+        so no write can race the release) and sweep any shared-memory
+        segment the fault orphaned.  The next run then starts from a
+        zero-live pool instead of tripping the leak check."""
+        if self._buffers is not None:
+            self._buffers.release_live()
+        sweep_orphaned_segments()
 
     def _prefork(self, graphs: Sequence[TaskGraph]) -> None:
         # Reserve the steady-state working set before forking: two
