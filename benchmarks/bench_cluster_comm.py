@@ -1,0 +1,162 @@
+"""Communication A/B: real sockets vs the shared-memory data plane.
+
+Runs the same communication-bearing graphs through `shm_processes` (the
+zero-copy shared-memory plane: payloads never leave the host's memory,
+only handles cross the pipes) and the two distributed executors
+(`cluster_uds`, `cluster_tcp`: every cross-rank payload is serialized and
+moved through a kernel socket buffer), on two dependence patterns —
+``stencil_1d`` (2 edges/task cross-rank at the block boundary) and
+``nearest`` radix 3 (denser neighbour exchange).
+
+The kernel is empty, so end-to-end wall time per task is all runtime +
+communication overhead.  The reported **per-task comms overhead** is the
+paired difference between the 4 KiB-payload and 16 B-payload granularity
+of the same backend in the same timing round: dispatch machinery is
+identical at both sizes, so the difference isolates what moving the bytes
+costs.  That is the honest comparison — the cluster executors also pay a
+fixed per-message cost that the shm plane does not, which the raw
+granularity columns still show.
+
+Results land in ``benchmarks/results/cluster_comm.json`` (plus a rendered
+text table) so EXPERIMENTS.md can cite the measured ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.core import DependenceType, TaskGraph
+from repro.runtimes import make_executor
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+STEPS = 30
+WIDTH = 8
+WORKERS = 2
+SMALL_BYTES = 16
+LARGE_BYTES = 4096
+PATTERNS = {
+    "stencil_1d": dict(dependence=DependenceType.STENCIL_1D),
+    "nearest": dict(dependence=DependenceType.NEAREST, radix=3),
+}
+BACKENDS = ("shm_processes", "cluster_uds", "cluster_tcp")
+REPEATS = 9
+
+
+def _graph(pattern: str, nbytes: int) -> TaskGraph:
+    return TaskGraph(
+        timesteps=STEPS,
+        max_width=WIDTH,
+        output_bytes_per_task=nbytes,
+        **PATTERNS[pattern],
+    )
+
+
+def _sweep() -> dict:
+    """Time every (backend, pattern, payload size) cell.
+
+    Repeats are interleaved across cells — every cell is timed once per
+    round — so slow phases of a shared host spread over all cells.  One
+    executor per (backend, pattern) lives for the whole sweep: fork pools
+    and rank meshes stay warm, the steady state both data planes are
+    designed for.
+    """
+    cells = [
+        (b, p, n)
+        for b in BACKENDS
+        for p in PATTERNS
+        for n in (SMALL_BYTES, LARGE_BYTES)
+    ]
+    executors = {
+        (b, p): make_executor(b, workers=WORKERS)
+        for b in BACKENDS
+        for p in PATTERNS
+    }
+    graphs = {cell: _graph(cell[1], cell[2]) for cell in cells}
+    try:
+        times: dict = {cell: [] for cell in cells}
+        wire: dict = {}
+        for cell in cells:  # warm-up round
+            executors[cell[0], cell[1]].run([graphs[cell]])
+        for _ in range(REPEATS):
+            for cell in cells:
+                start = time.perf_counter()
+                result = executors[cell[0], cell[1]].run([graphs[cell]])
+                times[cell].append(time.perf_counter() - start)
+                wire[cell] = result.data_plane.wire if result.data_plane else None
+    finally:
+        for ex in executors.values():
+            ex.close()
+
+    tasks = STEPS * WIDTH
+    out: dict = {}
+    for backend in BACKENDS:
+        out[backend] = {}
+        for pattern in PATTERNS:
+            small = times[backend, pattern, SMALL_BYTES]
+            large = times[backend, pattern, LARGE_BYTES]
+            # Paired per-round payload cost; median across rounds.
+            per_task_comm = statistics.median(
+                (lg - sm) / tasks for sm, lg in zip(small, large)
+            )
+            w = wire.get((backend, pattern, LARGE_BYTES))
+            out[backend][pattern] = {
+                "granularity_16B_seconds": min(small) / tasks,
+                "granularity_4096B_seconds": min(large) / tasks,
+                "comm_overhead_per_task_seconds": max(per_task_comm, 0.0),
+                "wire_bytes_sent": w.bytes_sent if w else 0,
+                "wire_messages_sent": w.messages_sent if w else 0,
+            }
+    return out
+
+
+def test_cluster_comm_ab():
+    per_cell = _sweep()
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "scenario": {
+            "timesteps": STEPS,
+            "max_width": WIDTH,
+            "workers": WORKERS,
+            "kernel": "empty",
+            "payload_bytes": [SMALL_BYTES, LARGE_BYTES],
+            "patterns": sorted(PATTERNS),
+            "repeats": REPEATS,
+        },
+        "backends": per_cell,
+    }
+    (RESULTS_DIR / "cluster_comm.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"{'backend':>14} {'pattern':>11} {'16B gran':>10} {'4KiB gran':>10}"
+        f" {'comm/task':>10} {'wire msgs':>9}",
+    ]
+    for backend in BACKENDS:
+        for pattern in PATTERNS:
+            c = per_cell[backend][pattern]
+            lines.append(
+                f"{backend:>14} {pattern:>11}"
+                f" {c['granularity_16B_seconds'] * 1e6:>8.1f}us"
+                f" {c['granularity_4096B_seconds'] * 1e6:>8.1f}us"
+                f" {c['comm_overhead_per_task_seconds'] * 1e6:>8.2f}us"
+                f" {c['wire_messages_sent']:>9}"
+            )
+    (RESULTS_DIR / "cluster_comm.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    for backend in BACKENDS:
+        for pattern in PATTERNS:
+            c = per_cell[backend][pattern]
+            # Sanity, not a performance claim: every cell actually ran at
+            # both sizes and the cluster cells actually used the wire.
+            assert c["granularity_4096B_seconds"] > 0
+            if backend.startswith("cluster_"):
+                assert c["wire_messages_sent"] > 0
+                assert c["wire_bytes_sent"] > c["wire_messages_sent"] * 4096 / 2

@@ -37,7 +37,11 @@ from typing import List, Sequence
 
 from .core.config import AppConfig, ConfigError, parse_args
 from .core.metrics import RunResult
-from .runtimes.registry import available_runtimes, make_executor
+from .runtimes.registry import (
+    available_runtimes,
+    describe_runtimes,
+    make_executor,
+)
 from .sim.machine import MachineSpec
 from .sim.network import ARIES
 from .sim.simulator import simulate
@@ -80,14 +84,20 @@ def run_config(app: AppConfig) -> RunResult:
     )
     retries = app.max_retries if app.max_retries is not None else 0
     attempt = 0
-    while True:
-        try:
-            return executor.run(app.graphs, validate=app.validate)
-        except TRANSIENT_ERRORS:
-            if attempt >= retries:
-                raise
-            time.sleep(RETRY_BACKOFF_SECONDS * (2 ** attempt))
-            attempt += 1
+    try:
+        while True:
+            try:
+                return executor.run(app.graphs, validate=app.validate)
+            except TRANSIENT_ERRORS:
+                if attempt >= retries:
+                    raise
+                time.sleep(RETRY_BACKOFF_SECONDS * (2 ** attempt))
+                attempt += 1
+    finally:
+        # One-shot CLI run: worker pools / rank meshes must not outlive it.
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
 
 
 def run_metg(app: AppConfig, target: float, *, report: bool = False) -> str:
@@ -124,8 +134,13 @@ def run_metg(app: AppConfig, target: float, *, report: bool = False) -> str:
             max_retries=app.max_retries,
         )
         max_iterations = 1 << 24  # real kernels: bound the sweep
-    result = metg(runner, factory, target_efficiency=target,
-                  max_iterations=max_iterations)
+    try:
+        result = metg(runner, factory, target_efficiency=target,
+                      max_iterations=max_iterations)
+    finally:
+        close = getattr(runner, "close", None)
+        if close is not None:
+            close()
     lines = [
         f"METG({target:.0%}) {result.metg_seconds:e} seconds",
         f"Probes {len(result.history)}",
@@ -223,6 +238,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args and args[0] in ("-h", "--help", "help"):
         print(_usage())
         return 0
+    if args and args[0] in ("--list-runtimes", "-list-runtimes"):
+        for name, isolation in describe_runtimes():
+            print(f"{name:16s} {isolation}")
+        return 0
     if args and args[0] == "check":
         return run_check(args[1:])
     # --audit: run normally but record the schedule and audit it afterwards.
@@ -303,6 +322,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(render_report(bad))
             return 1
         return 0
+    from .runtimes import WorkerCrashError, WorkerTimeoutError
+
     try:
         if metg_target is not None:
             print(run_metg(app, metg_target, report=report_enabled))
@@ -311,6 +332,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    except (WorkerCrashError, WorkerTimeoutError) as e:
+        # Exhausted retries on a worker/rank failure: a detected fault, not
+        # a hang — report it and fail cleanly.
+        print(f"error: {e}", file=sys.stderr)
+        return 1
     print(result.report(data_plane=report_enabled))
     return 0
 
@@ -343,9 +369,12 @@ app options:
   -persistent-imbalance   per-column (persistent) imbalance multipliers
   --audit            record the schedule and run the happens-before audit
   --report           append data-plane counters (bytes copied/shared, pool
-                     hit rate) and fault/retry counters to the run report
+                     hit rate, bytes on the wire) and fault/retry counters
+                     to the run report
+  --list-runtimes    print each real executor and its isolation level
+                     (serial / threads / processes / cluster) and exit
 
-fault tolerance (process executors; env defaults in parentheses):
+fault tolerance (process and cluster executors; env defaults in parentheses):
   --timeout SECONDS  per-round worker deadline — a wedged worker surfaces
                      as WorkerTimeoutError instead of a hang
                      (TASKBENCH_TIMEOUT)

@@ -1,0 +1,384 @@
+"""Launcher: spawn, supervise, and talk to a mesh of rank processes.
+
+:class:`Cluster` is the parent-side half of the distributed executors.
+It forks ``ranks`` daemon processes running :func:`repro.cluster.rank.rank_main`,
+performs the address exchange (every rank binds its listener first, then
+all addresses are broadcast, so mesh connection can never deadlock), and
+then drives runs: one ``("run", spec)`` control message per rank per
+epoch, one ``("done", stats, captured)`` reply each.
+
+Supervision follows the same discipline as the fork pool
+(:mod:`repro.runtimes._procpool`):
+
+* collection is ``wait``-based with a heartbeat slice and an optional
+  per-run deadline — a wedged rank surfaces as
+  :class:`~repro.runtimes._procpool.WorkerTimeoutError` instead of a hang;
+* a rank that dies EOFs its control pipe (and its peer sockets, which the
+  surviving ranks report as ``PeerDiedError``); both kinds of evidence
+  collapse into one :class:`~repro.runtimes._procpool.WorkerCrashError`;
+* after any failure the mesh is broken beyond repair (sockets half-dead,
+  epochs desynchronized), so the whole cluster is torn down — the owning
+  executor relaunches a fresh mesh on the next run and accounts the
+  relaunch as respawns;
+* teardown runs via ``weakref.finalize`` as well, so a dropped cluster
+  (or interpreter exit) reaps its ranks and removes its socket directory
+  without an explicit ``close()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import shutil
+import tempfile
+import time
+import weakref
+from multiprocessing.connection import Connection, wait as conn_wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.metrics import WireStats
+from ..core.task_graph import TaskGraph
+from ..faults import FaultSpec
+from ..runtimes._procpool import WorkerCrashError, WorkerTimeoutError
+from .transport import HEARTBEAT_SECONDS, PeerDiedError, TRANSPORTS
+
+#: Deadline for the fork + address exchange + mesh connection phase.
+SETUP_TIMEOUT_SECONDS = 60.0
+
+#: Grace given to surviving ranks to report after a failure is detected.
+_DRAIN_GRACE = 2.0
+
+#: Grace given to SIGTERM / the final join during teardown (seconds).
+_TERM_GRACE = 0.25
+_REAP_GRACE = 1.0
+
+
+def _wire_graph(g: TaskGraph) -> TaskGraph:
+    """A copy of ``g`` without memoized state, cheap to pickle (same
+    rationale as :func:`repro.runtimes.processes.wire_graph`)."""
+    return dataclasses.replace(g)
+
+
+def _reap(proc: mp.process.BaseProcess) -> None:
+    """Stop one rank now, escalating terminate() -> kill()."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=_TERM_GRACE)
+    if proc.is_alive():  # SIGTERM ignored (wedged): escalate
+        proc.kill()
+    proc.join(timeout=_REAP_GRACE)
+
+
+def _shutdown(
+    conns: List[Connection],
+    procs: List[mp.process.BaseProcess],
+    uds_dir: Optional[str],
+) -> None:
+    for conn in conns:
+        try:
+            conn.send(("shutdown",))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=_REAP_GRACE)
+    for proc in procs:
+        _reap(proc)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    if uds_dir is not None:
+        shutil.rmtree(uds_dir, ignore_errors=True)
+
+
+class Cluster:
+    """``ranks`` connected rank processes executing epochs of task graphs.
+
+    ``kind`` selects the transport (``"tcp"`` or ``"uds"``); ``timeout``
+    is the per-run deadline in seconds (``None`` = wait forever);
+    ``fault`` arms one injected fault in the matching rank's first run.
+    A cluster that failed (or was closed) refuses further runs — the
+    owning executor relaunches instead.
+    """
+
+    def __init__(
+        self,
+        ranks: int,
+        kind: str,
+        *,
+        timeout: float | None = None,
+        fault: FaultSpec | None = None,
+    ) -> None:
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        if kind not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {kind!r}; expected one of {TRANSPORTS}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.ranks = ranks
+        self.kind = kind
+        self.timeout = timeout
+        self.epoch = 0
+        self.dead = False
+        # Supervision counters (read by the executor's fault reporting).
+        self.crashes = 0
+        self.timeouts = 0
+        self._known: Dict[int, TaskGraph] = {}
+        self._uds_dir = (
+            tempfile.mkdtemp(prefix="taskbench-cluster-")
+            if kind == "uds"
+            else None
+        )
+        ctx = mp.get_context("fork")
+        from .rank import rank_main  # deferred: avoid import-cycle surprises
+
+        self._conns: List[Connection] = []
+        self._procs: List[mp.process.BaseProcess] = []
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self._conns, self._procs, self._uds_dir
+        )
+        try:
+            for r in range(ranks):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=rank_main,
+                    args=(
+                        r,
+                        ranks,
+                        child_conn,
+                        kind,
+                        self._uds_dir,
+                        fault if fault is not None and fault.worker == r else None,
+                    ),
+                    daemon=True,
+                    name=f"cluster-rank-{r}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            self._exchange_addresses()
+        except BaseException:
+            self._destroy()
+            raise
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _exchange_addresses(self) -> None:
+        deadline = time.monotonic() + SETUP_TIMEOUT_SECONDS
+        addresses: List[Any] = [None] * self.ranks
+        for r, msg in self._collect(deadline, phase="address exchange"):
+            self._check_setup_reply(r, msg, "address")
+            addresses[r] = msg[1]
+        for conn in self._conns:
+            conn.send(("peers", addresses))
+        for r, msg in self._collect(deadline, phase="mesh connection"):
+            self._check_setup_reply(r, msg, "ready")
+
+    @staticmethod
+    def _check_setup_reply(r: int, msg: Tuple[Any, ...], expected: str) -> None:
+        if msg[0] == expected:
+            return
+        if msg[0] == "error":
+            raise WorkerCrashError(
+                f"rank {r} failed during setup: {msg[1]!r}\n{msg[2]}"
+            )
+        raise WorkerCrashError(
+            f"rank {r} reported {msg[0]!r} while {expected!r} was expected"
+        )
+
+    def _collect(self, deadline: float | None, *, phase: str):
+        """Yield one control message per rank, supervised.
+
+        EOF from a rank raises :class:`WorkerCrashError`; missing the
+        deadline raises :class:`WorkerTimeoutError`.  An ``("error", ...)``
+        message is passed through to the caller.
+        """
+        pending: Dict[Connection, int] = {
+            conn: r for r, conn in enumerate(self._conns)
+        }
+        while pending:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    laggards = sorted(pending.values())
+                    raise WorkerTimeoutError(
+                        f"ranks {laggards} missed the deadline during {phase}"
+                    )
+                wait_s = min(HEARTBEAT_SECONDS, remaining)
+            else:
+                wait_s = HEARTBEAT_SECONDS
+            for conn in conn_wait(list(pending), timeout=wait_s):
+                r = pending.pop(conn)  # type: ignore[index]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrashError(
+                        f"rank {r} died during {phase}"
+                    ) from exc
+                yield r, msg
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graphs: Sequence[TaskGraph],
+        *,
+        validate: bool = True,
+        capture: bool = False,
+    ) -> Tuple[WireStats, Dict[Tuple[int, int, int], bytes]]:
+        """Execute one epoch across the mesh.
+
+        Returns the merged per-rank :class:`WireStats` delta and — when
+        ``capture`` — the ``{task: bytes}`` output snapshots.  Any failure
+        tears the whole cluster down before raising (see the module
+        docstring): crash evidence raises ``WorkerCrashError``, a missed
+        deadline ``WorkerTimeoutError``, and a rank-side application error
+        (e.g. a ``ValidationError``) is re-raised as itself.
+        """
+        if self.dead or not self._finalizer.alive:
+            raise RuntimeError("cluster is closed")
+        self.epoch += 1
+        wire = {g.graph_index: _wire_graph(g) for g in graphs}
+        stale = [wire[gi] for gi in wire if self._known.get(gi) != wire[gi]]
+        self._known.update({g.graph_index: g for g in stale})
+        spec = {
+            "epoch": self.epoch,
+            "graphs": stale,
+            "order": [g.graph_index for g in graphs],
+            "validate": validate,
+            "capture": capture,
+        }
+        try:
+            for conn in self._conns:
+                conn.send(("run", spec))
+        except (BrokenPipeError, OSError) as exc:
+            self.crashes += 1
+            self._destroy()
+            raise WorkerCrashError(
+                "a rank died before the run was dispatched"
+            ) from exc
+        return self._collect_run()
+
+    def _collect_run(
+        self,
+    ) -> Tuple[WireStats, Dict[Tuple[int, int, int], bytes]]:
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        stats = WireStats()
+        captured: Dict[Tuple[int, int, int], bytes] = {}
+        crashed: List[int] = []
+        peer_died = False
+        app_error: BaseException | None = None
+        pending: Dict[Connection, int] = {
+            conn: r for r, conn in enumerate(self._conns)
+        }
+        while pending:
+            if deadline is not None and time.monotonic() >= deadline:
+                if crashed or peer_died or app_error is not None:
+                    break  # failure already explained; stop draining
+                laggards = sorted(pending.values())
+                self.timeouts += 1
+                self._destroy()
+                raise WorkerTimeoutError(
+                    f"ranks {laggards} missed the "
+                    f"{self.timeout:g}s run "
+                    "deadline; the cluster has been torn down (the next run "
+                    "relaunches it)"
+                )
+            wait_s = HEARTBEAT_SECONDS
+            if deadline is not None:
+                wait_s = min(wait_s, max(deadline - time.monotonic(), 0.0))
+            for conn in conn_wait(list(pending), timeout=wait_s):
+                r = pending[conn]  # type: ignore[index]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # A true death: the rank vanished without reporting.
+                    del pending[conn]  # type: ignore[arg-type]
+                    crashed.append(r)
+                    self.crashes += 1
+                    continue
+                if msg[0] == "done":
+                    del pending[conn]  # type: ignore[arg-type]
+                    stats = stats.merged(msg[1])
+                    captured.update(msg[2])
+                elif msg[0] == "error":
+                    del pending[conn]  # type: ignore[arg-type]
+                    exc, tb = msg[1], msg[2]
+                    if isinstance(exc, PeerDiedError):
+                        # Secondary evidence: a survivor aborted because a
+                        # peer's socket EOFed — not a failure of rank r.
+                        peer_died = True
+                    elif app_error is None:
+                        exc.add_note(f"rank {r} traceback:\n{tb}")
+                        app_error = exc
+                else:  # pragma: no cover - protocol violation
+                    del pending[conn]  # type: ignore[arg-type]
+                    app_error = app_error or RuntimeError(
+                        f"rank {r} sent unexpected {msg[0]!r}"
+                    )
+            if (crashed or peer_died or app_error is not None) and pending:
+                # Give the remaining ranks a bounded drain window: they
+                # either finish, report the peer death, or get torn down.
+                grace = time.monotonic() + _DRAIN_GRACE
+                deadline = grace if deadline is None else min(deadline, grace)
+        if app_error is not None:
+            self._destroy()
+            raise app_error
+        if crashed or peer_died:
+            self._destroy()
+            names = f"ranks {sorted(crashed)}" if crashed else "a rank"
+            raise WorkerCrashError(
+                f"{names} died mid-run (socket/pipe EOF); the cluster has "
+                "been torn down (the next run relaunches it)"
+            )
+        return stats, captured
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _destroy(self) -> None:
+        self.dead = True
+        self._finalizer()
+
+    def close(self) -> None:
+        """Shut the ranks down.  Idempotent; also runs automatically when
+        the cluster is garbage-collected."""
+        self._destroy()
+
+    @property
+    def alive_ranks(self) -> int:
+        return sum(1 for p in self._procs if p.is_alive())
+
+
+def sweep_orphaned_socket_dirs() -> List[str]:
+    """Remove leftover ``taskbench-cluster-*`` socket directories whose
+    launcher process is gone (best-effort hygiene, mirrors the shm
+    segment sweeper).  Returns the paths removed."""
+    removed = []
+    tmp = tempfile.gettempdir()
+    for name in os.listdir(tmp):
+        if not name.startswith("taskbench-cluster-"):
+            continue
+        path = os.path.join(tmp, name)
+        try:
+            if not os.path.isdir(path):
+                continue
+            # A live launcher holds rank sockets open; a dir with no
+            # socket bound by a live process is an orphan.  We only sweep
+            # directories older than an hour to avoid racing live setups.
+            if time.time() - os.path.getmtime(path) < 3600:
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+            removed.append(path)
+        except OSError:  # pragma: no cover - racing another sweeper
+            continue
+    return removed

@@ -1,0 +1,410 @@
+"""Socket transport for the distributed executors.
+
+A mesh of N rank processes, fully connected: rank *r* dials every rank
+*s < r* and accepts connections from every rank *s > r*, identifying each
+accepted socket by its HELLO frame (connections arrive in arbitrary
+order).  Deadlock-free because every rank binds its listener *before* any
+address is published.
+
+On top of each connected socket the endpoint runs the paper's best MPI
+communication structure (§3.4):
+
+* **non-blocking sends** — ``post`` appends the message to a per-peer
+  outbox and returns; a dedicated sender thread per peer drains the outbox
+  onto the socket (``MPI_Isend``);
+* **blocking tagged receives** — a receiver thread per peer decodes DATA
+  frames into one shared mailbox keyed by tag; ``recv(tag)`` blocks until
+  the keyed message arrives (``MPI_Irecv`` + wait).
+
+Failure semantics: a socket EOF that is not part of an orderly shutdown
+means the peer process died.  The endpoint latches a
+:class:`PeerDiedError` and wakes every blocked ``recv`` so the surviving
+rank aborts promptly instead of waiting forever on a message that will
+never arrive — the launcher maps that abort to the supervision layer's
+``WorkerCrashError``.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import socket
+import threading
+import time
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .wire import (
+    LEN_STRUCT,
+    MAX_FRAME_BYTES,
+    MSG_HELLO,
+    Tag,
+    WireCounters,
+    WireError,
+    decode,
+    encode_data,
+    encode_hello,
+)
+
+#: Liveness-check interval while waiting on a tagged receive (seconds);
+#: matches the fork pool's heartbeat so failure latency is uniform.
+HEARTBEAT_SECONDS = 0.05
+
+#: Transport kinds accepted by :func:`make_listener`.
+TRANSPORTS = ("tcp", "uds")
+
+#: An advertised listener address: ("tcp", host, port) or ("uds", path).
+Address = Tuple[str, ...]
+
+
+class TransportError(RuntimeError):
+    """A transport-level protocol violation (bad HELLO, bad frame)."""
+
+
+class PeerDiedError(TransportError):
+    """A peer rank's socket EOFed outside an orderly shutdown — evidence
+    that the peer process died mid-run."""
+
+
+def make_listener(kind: str, rank: int, uds_dir: str | None) -> Tuple[socket.socket, Address]:
+    """Bind a listening socket for ``rank`` and return it with the address
+    to advertise to the other ranks."""
+    if kind == "tcp":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(64)
+        host, port = sock.getsockname()
+        return sock, ("tcp", host, str(port))
+    if kind == "uds":
+        if uds_dir is None:
+            raise ValueError("uds transport needs a socket directory")
+        path = os.path.join(uds_dir, f"rank{rank}.sock")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+        sock.listen(64)
+        return sock, ("uds", path)
+    raise ValueError(f"unknown transport {kind!r}; expected one of {TRANSPORTS}")
+
+
+def connect(address: Address) -> socket.socket:
+    """Dial a listener address produced by :func:`make_listener`."""
+    if address[0] == "tcp":
+        return socket.create_connection((address[1], int(address[2])))
+    if address[0] == "uds":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(address[1])
+        return sock
+    raise ValueError(f"unknown address {address!r}")
+
+
+class FrameSocket:
+    """Length-prefixed frame framing over one stream socket.
+
+    ``send_frame`` scatter-writes the length prefix and the frame parts
+    with ``sendmsg`` — the payload memoryview goes to the kernel without
+    being joined into an intermediate buffer.  ``recv_frame`` reads
+    exactly one frame into a fresh buffer (``recv_into``, no re-slicing
+    copies) and returns it; EOF *between* frames returns ``None``, EOF
+    *inside* a frame raises :class:`PeerDiedError`.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        if sock.family == socket.AF_INET:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send_frame(self, *parts: "bytes | memoryview") -> int:
+        """Send one frame; returns the number of payload+header bytes."""
+        views = [memoryview(p).cast("B") for p in parts]
+        total = sum(len(v) for v in views)
+        if total > MAX_FRAME_BYTES:
+            raise TransportError(f"frame of {total} bytes exceeds the cap")
+        # Zero-length parts (empty payloads) must be dropped before the
+        # scatter loop: sendmsg reports 0 bytes for them, which the
+        # re-slicing logic below would never pop.
+        bufs: List[memoryview] = [memoryview(LEN_STRUCT.pack(total))] + [
+            v for v in views if len(v)
+        ]
+        with self._send_lock:
+            while bufs:
+                sent = self._sock.sendmsg(bufs)
+                while sent > 0:
+                    if sent >= len(bufs[0]):
+                        sent -= len(bufs[0])
+                        bufs.pop(0)
+                    else:
+                        bufs[0] = bufs[0][sent:]
+                        sent = 0
+        return total
+
+    def _recv_exact(self, nbytes: int, *, at_boundary: bool) -> Optional[memoryview]:
+        buf = bytearray(nbytes)
+        view = memoryview(buf)
+        got = 0
+        while got < nbytes:
+            n = self._sock.recv_into(view[got:])
+            if n == 0:
+                if got == 0 and at_boundary:
+                    return None  # clean EOF between frames
+                raise PeerDiedError("socket EOF inside a frame")
+            got += n
+        return view
+
+    def recv_frame(self) -> Optional[memoryview]:
+        """Read one frame; ``None`` on orderly EOF at a frame boundary."""
+        head = self._recv_exact(LEN_STRUCT.size, at_boundary=True)
+        if head is None:
+            return None
+        (length,) = LEN_STRUCT.unpack(head)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame length {length} exceeds the cap")
+        body = self._recv_exact(length, at_boundary=False)
+        assert body is not None
+        return body
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class _Peer:
+    """One connected peer: an outbox + sender thread and a receiver thread."""
+
+    def __init__(self, rank: int, fsock: FrameSocket, endpoint: "Endpoint") -> None:
+        self.rank = rank
+        self.fsock = fsock
+        self._endpoint = endpoint
+        self._cond = threading.Condition()
+        self._outbox: Deque[Tuple[bytes, memoryview]] = collections.deque()
+        self._sending = False
+        self.closing = False
+        self._sender = threading.Thread(
+            target=self._send_loop, name=f"cluster-send-{rank}", daemon=True
+        )
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name=f"cluster-recv-{rank}", daemon=True
+        )
+        self._sender.start()
+        self._receiver.start()
+
+    # -- sending -------------------------------------------------------
+    def post(self, header: bytes, payload: memoryview) -> None:
+        """Queue one encoded frame; never blocks on the socket."""
+        with self._cond:
+            if self.closing:
+                raise TransportError(f"peer {self.rank} endpoint is closing")
+            self._outbox.append((header, payload))
+            self._cond.notify_all()
+
+    def _send_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._outbox and not self.closing:
+                    self._cond.wait()
+                if not self._outbox:
+                    return  # closing and drained
+                header, payload = self._outbox.popleft()
+                self._sending = True
+            try:
+                start = time.perf_counter()
+                nbytes = self.fsock.send_frame(header, payload)
+                self._endpoint.counters.count_sent(
+                    nbytes, time.perf_counter() - start
+                )
+            except OSError as exc:
+                if not self.closing:
+                    self._endpoint.set_failure(
+                        PeerDiedError(
+                            f"send to rank {self.rank} failed: {exc}"
+                        )
+                    )
+                return
+            finally:
+                with self._cond:
+                    self._sending = False
+                    self._cond.notify_all()
+
+    def flush(self, deadline: float | None) -> None:
+        """Block until every queued frame reached the kernel buffers."""
+        with self._cond:
+            while self._outbox or self._sending:
+                self._endpoint.check_failure()
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportError(
+                            f"flush to rank {self.rank} timed out"
+                        )
+                self._cond.wait(
+                    HEARTBEAT_SECONDS
+                    if remaining is None
+                    else min(HEARTBEAT_SECONDS, remaining)
+                )
+
+    # -- receiving -----------------------------------------------------
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                frame = self.fsock.recv_frame()
+            except (PeerDiedError, WireError, OSError) as exc:
+                if not self.closing:
+                    self._endpoint.set_failure(
+                        exc
+                        if isinstance(exc, PeerDiedError)
+                        else PeerDiedError(
+                            f"receive from rank {self.rank} failed: {exc}"
+                        )
+                    )
+                return
+            if frame is None:
+                if not self.closing:
+                    self._endpoint.set_failure(
+                        PeerDiedError(
+                            f"rank {self.rank} closed its connection mid-run"
+                        )
+                    )
+                return
+            start = time.perf_counter()
+            decoded = decode(frame)
+            if decoded[0] == MSG_HELLO:
+                self._endpoint.set_failure(
+                    TransportError(f"unexpected HELLO from rank {self.rank}")
+                )
+                return
+            tag, payload = decoded  # type: ignore[misc]
+            self._endpoint.counters.count_received(
+                len(frame), time.perf_counter() - start
+            )
+            self._endpoint.deliver(tag, payload)
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        with self._cond:
+            self.closing = True
+            self._cond.notify_all()
+        self._sender.join(timeout=1.0)
+        self.fsock.close()
+        self._receiver.join(timeout=1.0)
+
+
+class Endpoint:
+    """One rank's connections to every other rank, plus the tagged mailbox.
+
+    Construction connects the mesh (see the module docstring) and starts
+    two threads per peer.  All receiver threads deliver into one mailbox —
+    a DATA tag names the producer task globally, so the consumer does not
+    care which socket carried it.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        listener: socket.socket,
+        addresses: List[Address],
+    ) -> None:
+        self.rank = rank
+        self.nranks = nranks
+        self.counters = WireCounters()
+        self._mail_cond = threading.Condition()
+        self._mailbox: Dict[Tag, np.ndarray] = {}
+        self._failure: Optional[BaseException] = None
+        self._peers: Dict[int, _Peer] = {}
+        sockets: Dict[int, FrameSocket] = {}
+        # Dial every lower rank, announcing ourselves.
+        for s in range(rank):
+            fsock = FrameSocket(connect(addresses[s]))
+            fsock.send_frame(encode_hello(rank))
+            sockets[s] = fsock
+        # Accept every higher rank, identified by its HELLO.
+        for _ in range(nranks - rank - 1):
+            conn, _addr = listener.accept()
+            fsock = FrameSocket(conn)
+            frame = fsock.recv_frame()
+            if frame is None:
+                raise TransportError("peer hung up before HELLO")
+            decoded = decode(frame)
+            if decoded[0] != MSG_HELLO:
+                raise TransportError("first frame was not a HELLO")
+            peer_rank = decoded[1]
+            if not isinstance(peer_rank, int) or peer_rank in sockets:
+                raise TransportError(f"bad HELLO rank {peer_rank!r}")
+            sockets[peer_rank] = fsock
+        listener.close()
+        # Threads start only once the whole mesh is wired up.
+        for peer_rank, fsock in sockets.items():
+            self._peers[peer_rank] = _Peer(peer_rank, fsock, self)
+
+    # -- failure latch -------------------------------------------------
+    def set_failure(self, exc: BaseException) -> None:
+        with self._mail_cond:
+            if self._failure is None:
+                self._failure = exc
+            self._mail_cond.notify_all()
+
+    def check_failure(self) -> None:
+        with self._mail_cond:
+            if self._failure is not None:
+                raise self._failure
+
+    # -- data plane ----------------------------------------------------
+    def post(self, dest: int, tag: Tag, payload: np.ndarray) -> None:
+        """Non-blocking tagged send of one task output to rank ``dest``."""
+        start = time.perf_counter()
+        header, view = encode_data(tag, payload)
+        self.counters.count_serialize(time.perf_counter() - start)
+        self._peers[dest].post(header, view)
+
+    def deliver(self, tag: Tag, payload: np.ndarray) -> None:
+        """Receiver-thread entry: file one decoded message under its tag."""
+        with self._mail_cond:
+            if tag in self._mailbox:
+                self.set_failure(
+                    TransportError(f"duplicate message for tag {tag}")
+                )
+                return
+            self._mailbox[tag] = payload
+            self._mail_cond.notify_all()
+
+    def recv(self, tag: Tag) -> np.ndarray:
+        """Block until the message tagged ``tag`` arrives, then claim it.
+
+        Wakes on the heartbeat to re-check the failure latch, so a peer
+        death never leaves this rank blocked forever.
+        """
+        with self._mail_cond:
+            while tag not in self._mailbox:
+                if self._failure is not None:
+                    raise self._failure
+                self._mail_cond.wait(HEARTBEAT_SECONDS)
+            return self._mailbox.pop(tag)
+
+    def pending(self, epoch: int) -> int:
+        """Messages of ``epoch`` delivered but never claimed (leak check)."""
+        with self._mail_cond:
+            return sum(1 for tag in self._mailbox if tag[0] == epoch)
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Wait until every outbox has fully reached the kernel buffers."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for peer in self._peers.values():
+            peer.flush(deadline)
+
+    def close(self) -> None:
+        """Orderly shutdown: drain outboxes, then close every socket."""
+        for peer in self._peers.values():
+            with peer._cond:
+                peer.closing = True
+                peer._cond.notify_all()
+        for peer in self._peers.values():
+            peer.close()

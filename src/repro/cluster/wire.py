@@ -1,0 +1,164 @@
+"""Binary wire protocol for the distributed executors.
+
+Every message between two rank processes is one *frame*::
+
+    +----------+-----------------+---------------------+
+    | length   | header          | payload (DATA only) |
+    | u32 LE   | fixed struct    | raw ndarray bytes   |
+    +----------+-----------------+---------------------+
+
+``length`` counts the header plus payload.  There are two message types:
+
+``HELLO`` (``<BI``: type, rank)
+    Sent once on every freshly connected socket so the accepting side can
+    identify which rank is on the other end (connections arrive in
+    arbitrary order during mesh setup).
+
+``DATA`` (``<BIiii``: type, epoch, graph_index, timestep, column)
+    One task output travelling to one consumer rank.  The header is the
+    message *tag* — ``(epoch, graph_index, timestep, column)`` names the
+    producer task, exactly like an MPI tag — and the payload is the
+    producer's output buffer, shipped as raw bytes with **no pickle on the
+    hot path**: encoding packs a 17-byte header next to a memoryview of
+    the ndarray, decoding wraps the received frame with ``np.frombuffer``.
+
+The epoch field isolates back-to-back runs of a persistent rank mesh: a
+fast rank may race ahead into run *k+1* while a peer still drains run *k*,
+and its early messages simply park in the receiver's mailbox under the new
+epoch instead of corrupting the old run.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..core.metrics import WireStats
+
+#: Message type codes (first header byte).
+MSG_HELLO = 1
+MSG_DATA = 2
+
+#: Frame length prefix: u32 little-endian, counting header + payload.
+LEN_STRUCT = struct.Struct("<I")
+
+#: HELLO header: (type, sender rank).
+HELLO_STRUCT = struct.Struct("<BI")
+
+#: DATA header: (type, epoch, graph_index, timestep, column).
+DATA_STRUCT = struct.Struct("<BIiii")
+
+#: Hard cap on a single frame (1 GiB) — a corrupted length prefix must not
+#: make the receiver allocate an absurd buffer.
+MAX_FRAME_BYTES = 1 << 30
+
+#: A message tag: (epoch, graph_index, timestep, column).
+Tag = Tuple[int, int, int, int]
+
+
+class WireError(RuntimeError):
+    """A malformed frame arrived (corrupt header, bad type, bad length)."""
+
+
+def encode_hello(rank: int) -> bytes:
+    """The HELLO header announcing ``rank`` (no payload)."""
+    return HELLO_STRUCT.pack(MSG_HELLO, rank)
+
+
+def encode_data(tag: Tag, payload: np.ndarray) -> Tuple[bytes, memoryview]:
+    """Encode one task output as a (header, payload view) pair.
+
+    The payload is *not* copied: the caller hands both parts to the
+    transport, which scatter-writes them onto the socket.
+    """
+    epoch, gi, t, i = tag
+    header = DATA_STRUCT.pack(MSG_DATA, epoch, gi, t, i)
+    return header, memoryview(np.ascontiguousarray(payload)).cast("B")
+
+
+def decode(frame: memoryview) -> Union[Tuple[int, int], Tuple[Tag, np.ndarray]]:
+    """Decode one received frame (without its length prefix).
+
+    Returns ``(MSG_HELLO, rank)`` for a HELLO and ``(tag, array)`` for a
+    DATA frame.  The array is a zero-copy ``np.frombuffer`` view over the
+    frame's own buffer (read-only, ``uint8``) — the receive path allocates
+    one buffer per frame and never copies the payload again.
+    """
+    if len(frame) < 1:
+        raise WireError("empty frame")
+    kind = frame[0]
+    if kind == MSG_HELLO:
+        if len(frame) != HELLO_STRUCT.size:
+            raise WireError(f"HELLO frame has {len(frame)} bytes")
+        _, rank = HELLO_STRUCT.unpack(frame)
+        return MSG_HELLO, rank
+    if kind == MSG_DATA:
+        if len(frame) < DATA_STRUCT.size:
+            raise WireError(f"DATA frame has only {len(frame)} bytes")
+        _, epoch, gi, t, i = DATA_STRUCT.unpack(frame[: DATA_STRUCT.size])
+        payload = np.frombuffer(frame[DATA_STRUCT.size:], dtype=np.uint8)
+        return (epoch, gi, t, i), payload
+    raise WireError(f"unknown message type {kind}")
+
+
+class WireCounters:
+    """Mutable, thread-safe wire accounting for one endpoint.
+
+    The transport's sender/receiver threads bump these as frames move;
+    :meth:`snapshot` folds them into the immutable
+    :class:`~repro.core.metrics.WireStats` that travels back to the
+    launcher at the end of each run.  ``snapshot(base)`` returns the delta
+    since ``base``, so a persistent mesh reports per-run numbers rather
+    than lifetime totals.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.serialize_seconds = 0.0
+        self.deserialize_seconds = 0.0
+
+    def count_sent(self, nbytes: int, seconds: float) -> None:
+        with self._lock:
+            self.bytes_sent += nbytes
+            self.messages_sent += 1
+            self.serialize_seconds += seconds
+
+    def count_serialize(self, seconds: float) -> None:
+        with self._lock:
+            self.serialize_seconds += seconds
+
+    def count_received(self, nbytes: int, seconds: float) -> None:
+        with self._lock:
+            self.bytes_received += nbytes
+            self.messages_received += 1
+            self.deserialize_seconds += seconds
+
+    def snapshot(self, base: WireStats | None = None) -> WireStats:
+        with self._lock:
+            stats = WireStats(
+                bytes_sent=self.bytes_sent,
+                bytes_received=self.bytes_received,
+                messages_sent=self.messages_sent,
+                messages_received=self.messages_received,
+                serialize_seconds=self.serialize_seconds,
+                deserialize_seconds=self.deserialize_seconds,
+            )
+        if base is None:
+            return stats
+        return WireStats(
+            bytes_sent=stats.bytes_sent - base.bytes_sent,
+            bytes_received=stats.bytes_received - base.bytes_received,
+            messages_sent=stats.messages_sent - base.messages_sent,
+            messages_received=stats.messages_received - base.messages_received,
+            serialize_seconds=stats.serialize_seconds - base.serialize_seconds,
+            deserialize_seconds=(
+                stats.deserialize_seconds - base.deserialize_seconds
+            ),
+        )

@@ -33,6 +33,13 @@ class Executor(abc.ABC):
     #: Registry name; subclasses must override.
     name: str = "abstract"
 
+    #: Isolation level of the execution substrate: ``"serial"`` (inline, no
+    #: concurrency), ``"threads"`` (one address space), ``"processes"``
+    #: (fork pool on one host) or ``"cluster"`` (independent rank processes
+    #: over sockets).  Shown by ``task-bench --list-runtimes`` so users can
+    #: tell otherwise same-shaped backends apart.
+    isolation: str = "threads"
+
     @property
     @abc.abstractmethod
     def cores(self) -> int:

@@ -21,6 +21,49 @@ from .task_graph import TaskGraph
 
 
 @dataclass(frozen=True)
+class WireStats:
+    """How task payloads moved over a real transport (cluster executors).
+
+    The distributed executors (:mod:`repro.cluster`) move dependency
+    payloads between rank processes as binary frames over sockets.  These
+    counters are the network-side complement of :class:`DataPlaneStats`:
+    bytes/messages that actually crossed the wire, plus the time the ranks
+    spent encoding and decoding frames (the serialization cost the paper's
+    communication analysis isolates, §5.5).
+    """
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    serialize_seconds: float = 0.0
+    deserialize_seconds: float = 0.0
+
+    def merged(self, other: "WireStats") -> "WireStats":
+        """Sum of two wire records (e.g. several ranks of one run)."""
+        return WireStats(
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_received=self.bytes_received + other.bytes_received,
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_received=self.messages_received + other.messages_received,
+            serialize_seconds=self.serialize_seconds + other.serialize_seconds,
+            deserialize_seconds=(
+                self.deserialize_seconds + other.deserialize_seconds
+            ),
+        )
+
+    def report_lines(self) -> List[str]:
+        """Wire section of the uniform report."""
+        return [
+            f"Bytes On Wire {self.bytes_sent} sent / "
+            f"{self.bytes_received} received "
+            f"({self.messages_sent} / {self.messages_received} messages)",
+            f"Wire Codec Time {self.serialize_seconds:e} s serialize, "
+            f"{self.deserialize_seconds:e} s deserialize",
+        ]
+
+
+@dataclass(frozen=True)
 class DataPlaneStats:
     """How task payloads moved during a run (paper §3's communication layer).
 
@@ -29,6 +72,8 @@ class DataPlaneStats:
     through a pipe, duplicated into a message) from bytes that were
     *shared* (routed through pooled slabs and referenced by handle).
     Pool hit-rate tracks how well slab recycling amortizes allocation.
+    Distributed executors additionally attach a :class:`WireStats` record
+    for the bytes that crossed real sockets.
     """
 
     bytes_copied: int = 0
@@ -37,6 +82,7 @@ class DataPlaneStats:
     payloads_shared: int = 0
     pool_hits: int = 0
     pool_misses: int = 0
+    wire: Optional[WireStats] = None
 
     @property
     def pool_hit_rate(self) -> float:
@@ -46,6 +92,12 @@ class DataPlaneStats:
 
     def merged(self, other: "DataPlaneStats") -> "DataPlaneStats":
         """Sum of two stats records (e.g. several pools in one run)."""
+        if self.wire is None:
+            wire = other.wire
+        elif other.wire is None:
+            wire = self.wire
+        else:
+            wire = self.wire.merged(other.wire)
         return DataPlaneStats(
             bytes_copied=self.bytes_copied + other.bytes_copied,
             payloads_copied=self.payloads_copied + other.payloads_copied,
@@ -53,16 +105,20 @@ class DataPlaneStats:
             payloads_shared=self.payloads_shared + other.payloads_shared,
             pool_hits=self.pool_hits + other.pool_hits,
             pool_misses=self.pool_misses + other.pool_misses,
+            wire=wire,
         )
 
     def report_lines(self) -> List[str]:
         """Data-plane section of the uniform report."""
-        return [
+        lines = [
             f"Bytes Copied {self.bytes_copied} ({self.payloads_copied} payloads)",
             f"Bytes Shared {self.bytes_shared} ({self.payloads_shared} payloads)",
             f"Pool Hit Rate {self.pool_hit_rate:.3f} "
             f"({self.pool_hits} hits, {self.pool_misses} misses)",
         ]
+        if self.wire is not None:
+            lines.extend(self.wire.report_lines())
+        return lines
 
 
 @dataclass(frozen=True)

@@ -47,9 +47,16 @@ class DependenceType(enum.Enum):
 
     @classmethod
     def parse(cls, name: str) -> "DependenceType":
-        """Parse a command-line dependence name (case-insensitive)."""
+        """Parse a command-line dependence name (case-insensitive).
+
+        ``stencil`` is accepted as shorthand for ``stencil_1d`` (the
+        official harness's pattern name).
+        """
+        cleaned = name.strip().lower()
+        if cleaned == "stencil":
+            cleaned = "stencil_1d"
         try:
-            return cls(name.strip().lower())
+            return cls(cleaned)
         except ValueError:
             valid = ", ".join(d.value for d in cls)
             raise ValueError(

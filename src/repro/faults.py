@@ -24,6 +24,13 @@ generation of a pool's workers only, so a respawned worker runs clean and
 a retried probe succeeds.  This mirrors how TaPS treats failure behavior
 as a first-class evaluation axis — the benchmark must *survive* the fault
 to measure its cost.
+
+For the distributed executors (``cluster_tcp`` / ``cluster_uds``,
+:mod:`repro.cluster`) the same spec applies with cluster semantics:
+``worker`` is the *rank* index and ``round_index`` is the *timestep* of
+the rank's first run at which the fault fires (``crash:1:2`` kills rank 1
+just before it executes timestep 2).  Faults arm only the first launch of
+a mesh; a relaunch after a failure runs clean.
 """
 
 from __future__ import annotations

@@ -117,6 +117,16 @@ class RealRunner:
     def run(self, graphs: Sequence[TaskGraph]) -> RunResult:
         return self.executor.run(graphs, validate=self.validate)
 
+    def close(self) -> None:
+        """Release the executor's resources (worker pools, rank meshes).
+
+        Persistent-substrate executors stay warm across a sweep's probes;
+        once the sweep is over the caller closes the runner so process
+        trees and socket directories do not outlive the measurement."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
 
 def calibrate_kernel_flops(iterations: int = 20_000, repeats: int = 3) -> float:
     """Measured FLOP/s of the compute kernel on one core of this host."""

@@ -1,10 +1,12 @@
-"""Real single-host runtime implementations of the Task Bench interface.
+"""Real runtime implementations of the Task Bench interface.
 
 One executor per runtime paradigm evaluated in the paper (§3): inline
 serial execution, bulk-synchronous and point-to-point message passing,
 dependency-counted thread tasking, sequential task flow with runtime
 dependence inference, ahead-of-time graph expansion, message-driven actors,
-a centralized controller, and timestep-phased process offload.
+a centralized controller, timestep-phased process offload, and — via
+:mod:`repro.cluster` — distributed-memory rank processes over real
+sockets (``cluster_tcp`` / ``cluster_uds``).
 
 All executors drive the same core library (``repro.core``) through the same
 ``execute_point`` entry point; every graph validates its own execution.
@@ -14,12 +16,13 @@ from .actors import ActorExecutor
 from .async_rt import AsyncioExecutor
 from .bulk_sync import BulkSyncExecutor
 from .centralized import CentralizedExecutor
+from .cluster_rt import ClusterTCPExecutor, ClusterUDSExecutor
 from .dataflow import DataflowExecutor, STFScheduler
 from .futures_rt import FuturesExecutor
 from .p2p import Mailbox, P2PExecutor, block_owner
 from .processes import ProcessPoolExecutor
 from .ptg import ExpandedGraph, PTGExecutor, expand
-from .registry import available_runtimes, make_executor
+from .registry import available_runtimes, describe_runtimes, make_executor
 from .serial import SerialExecutor
 from .threads import ThreadPoolTaskExecutor
 from ._common import OutputStore, ScratchPool
@@ -30,6 +33,8 @@ __all__ = [
     "AsyncioExecutor",
     "BulkSyncExecutor",
     "CentralizedExecutor",
+    "ClusterTCPExecutor",
+    "ClusterUDSExecutor",
     "DataflowExecutor",
     "ExpandedGraph",
     "ForkWorkerPool",
@@ -42,12 +47,12 @@ __all__ = [
     "STFScheduler",
     "ScratchPool",
     "SerialExecutor",
-    "ScratchPool",
     "ThreadPoolTaskExecutor",
     "WorkerCrashError",
     "WorkerTimeoutError",
     "available_runtimes",
     "block_owner",
+    "describe_runtimes",
     "expand",
     "make_executor",
 ]

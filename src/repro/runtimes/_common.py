@@ -138,6 +138,16 @@ def capturing_outputs() -> Iterator[Dict[TaskKey, bytes]]:
         _capture_sink = None
 
 
+def capture_active() -> bool:
+    """Whether an output capture is currently installed.
+
+    Cross-process executors check this before a run so they only ship
+    output snapshots back from their workers/ranks when a conformance
+    capture is actually listening.
+    """
+    return _capture_sink is not None
+
+
 def capture_output(key: TaskKey, value: "bufpool.Payload") -> None:
     """Snapshot one published output if a capture is active (no-op
     otherwise).  Called from every publish site: :meth:`OutputStore.put`

@@ -1,4 +1,4 @@
-"""Point-to-point message-passing executor (MPI p2p analogue, paper §3.4).
+"""Point-to-point message-passing executor (shared-memory p2p analogue).
 
 Columns are block-partitioned across ``workers`` ranks, exactly like an MPI
 Task Bench run maps columns to ranks.  Each rank advances timestep by
@@ -6,9 +6,13 @@ timestep: receive the inputs its tasks need from other ranks' posted
 messages, execute, then send outputs to consumer ranks.  Sends are
 non-blocking (mailbox posts), receives block until the message arrives —
 the ``MPI_Isend``/``MPI_Irecv`` structure of the paper's best-performing MPI
-variant.  Unlike :class:`~repro.runtimes.bulk_sync.BulkSyncExecutor` there
-is no global barrier: ranks drift apart as far as the dependence pattern
-allows.
+variant (§3.4), but with *threads in one address space* standing in for
+ranks: a "message" is a mailbox reference, nothing crosses a process
+boundary.  For the genuinely distributed version of this pattern — rank
+processes exchanging bytes over real sockets — see :mod:`repro.cluster`
+(``cluster_tcp`` / ``cluster_uds``).  Unlike
+:class:`~repro.runtimes.bulk_sync.BulkSyncExecutor` there is no global
+barrier: ranks drift apart as far as the dependence pattern allows.
 """
 
 from __future__ import annotations

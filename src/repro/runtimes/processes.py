@@ -129,6 +129,8 @@ class _PhasedProcessExecutor(Executor):
     ``fault`` arms one injected fault on the pool's first worker
     generation (default: ``TASKBENCH_INJECT_FAULT``)."""
 
+    isolation = "processes"
+
     #: Module-level chunk function the pool's workers run (set by subclass).
     chunk_fn: ClassVar[Callable[[Any], Any]]
 

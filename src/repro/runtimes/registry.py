@@ -7,13 +7,14 @@ here — the O(m + n) property of the paper's design.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple, Type
 
 from ..core.executor_base import Executor
 from .actors import ActorExecutor
 from .async_rt import AsyncioExecutor
 from .bulk_sync import BulkSyncExecutor
 from .centralized import CentralizedExecutor
+from .cluster_rt import ClusterTCPExecutor, ClusterUDSExecutor
 from .dataflow import DataflowExecutor
 from .futures_rt import FuturesExecutor
 from .p2p import P2PExecutor
@@ -44,12 +45,54 @@ _FACTORIES: Dict[str, Callable[..., Executor]] = {
     "actors": lambda workers=2, **kw: ActorExecutor(workers),
     "centralized": lambda workers=2, timeout=None, fault=None, **kw:
         CentralizedExecutor(workers, **kw),
+    "cluster_tcp": lambda workers=2, timeout=None, fault=None, **kw:
+        ClusterTCPExecutor(workers, timeout=timeout, fault=fault),
+    "cluster_uds": lambda workers=2, timeout=None, fault=None, **kw:
+        ClusterUDSExecutor(workers, timeout=timeout, fault=fault),
 }
+
+# Executor classes by name, used to report substrate metadata (isolation
+# level) without instantiating — factories stay the single source of
+# construction, this map the single source of "what kind of thing is it".
+_CLASSES: Dict[str, Type[Executor]] = {
+    "serial": SerialExecutor,
+    "bulk_sync": BulkSyncExecutor,
+    "p2p": P2PExecutor,
+    "threads": ThreadPoolTaskExecutor,
+    "processes": ProcessPoolExecutor,
+    "shm_processes": ShmProcessPoolExecutor,
+    "dataflow": DataflowExecutor,
+    "futures": FuturesExecutor,
+    "asyncio": AsyncioExecutor,
+    "ptg": PTGExecutor,
+    "actors": ActorExecutor,
+    "centralized": CentralizedExecutor,
+    "cluster_tcp": ClusterTCPExecutor,
+    "cluster_uds": ClusterUDSExecutor,
+}
+assert _CLASSES.keys() == _FACTORIES.keys()
 
 
 def available_runtimes() -> List[str]:
     """Names of all registered executors."""
     return sorted(_FACTORIES)
+
+
+def runtime_isolation(name: str) -> str:
+    """Isolation level of a registered executor (``serial`` / ``threads``
+    / ``processes`` / ``cluster``) without instantiating it."""
+    try:
+        return _CLASSES[name].isolation
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime {name!r}; available: {', '.join(available_runtimes())}"
+        ) from None
+
+
+def describe_runtimes() -> List[Tuple[str, str]]:
+    """``(name, isolation)`` for every registered executor, sorted by name
+    (the backing data of ``task-bench --list-runtimes``)."""
+    return [(name, _CLASSES[name].isolation) for name in available_runtimes()]
 
 
 def make_executor(name: str, workers: int = 2, **kwargs) -> Executor:

@@ -19,6 +19,7 @@ class SerialExecutor(Executor):
     """Run every task inline on the calling thread, in program order."""
 
     name = "serial"
+    isolation = "serial"
 
     @property
     def cores(self) -> int:

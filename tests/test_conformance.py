@@ -2,7 +2,7 @@
 
 Every registered executor must produce *bytewise identical* task outputs to
 the serial executor for the same graphs — the strongest statement the repo
-can make that the twelve scheduling strategies implement one semantics.
+can make that the fourteen scheduling strategies implement one semantics.
 Outputs are snapshotted at publish time via
 :func:`repro.runtimes._common.capturing_outputs`, so pooled/zero-copy data
 planes are checked at exactly the moment consumers could observe them.
@@ -34,11 +34,16 @@ pytestmark = pytest.mark.conformance
 ALL_RUNTIMES = available_runtimes()
 #: Same-address-space executors: cheap to run, get the full matrix.
 THREAD_SIDE = [
-    r for r in ALL_RUNTIMES if r not in ("serial", "processes", "shm_processes")
+    r for r in ALL_RUNTIMES
+    if r not in ("serial", "processes", "shm_processes")
+    and not r.startswith("cluster_")
 ]
 #: Cross-process executors fork a pool per instance; they get a reduced
 #: but still heterogeneous slice of the matrix.
 PROCESS_SIDE = ["processes", "shm_processes"]
+#: Distributed executors fork a rank mesh per instance and move every
+#: cross-rank payload over a real socket; same reduced slice.
+CLUSTER_SIDE = ["cluster_tcp", "cluster_uds"]
 
 DEP_TYPES = [
     DependenceType.TRIVIAL,
@@ -168,8 +173,24 @@ def test_process_side_matches_serial(runtime, dep, nbytes, serial_reference):
     assert _run_captured(runtime, factory()) == reference
 
 
+@pytest.mark.parametrize(
+    "dep",
+    [DependenceType.STENCIL_1D, DependenceType.FFT, DependenceType.RANDOM_NEAREST],
+    ids=lambda d: d.value,
+)
+@pytest.mark.parametrize("runtime", CLUSTER_SIDE)
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_cluster_side_matches_serial(runtime, dep, nbytes, serial_reference):
+    """Bytewise conformance across a process *and* a wire boundary: what
+    the ranks serialize, send, and reconstruct must equal what the serial
+    executor computes in place."""
+    factory = lambda: [_graph(dep, nbytes=nbytes)]  # noqa: E731
+    reference = serial_reference(f"dep-{dep.value}-{nbytes}", factory)
+    assert _run_captured(runtime, factory()) == reference
+
+
 @pytest.mark.parametrize("scenario", sorted(HETEROGENEOUS), ids=str)
-@pytest.mark.parametrize("runtime", THREAD_SIDE + PROCESS_SIDE)
+@pytest.mark.parametrize("runtime", THREAD_SIDE + PROCESS_SIDE + CLUSTER_SIDE)
 def test_heterogeneous_graphs_match_serial(runtime, scenario, serial_reference):
     factory = HETEROGENEOUS[scenario]
     reference = serial_reference(f"hetero-{scenario}", factory)

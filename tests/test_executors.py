@@ -22,9 +22,13 @@ from repro.runtimes import available_runtimes, make_executor
 ALL_RUNTIMES = available_runtimes()
 ALL_PATTERNS = list(DependenceType)
 
-# 'processes' forks a pool per run; exercise it in the dedicated tests below
-# rather than in every grid cell to keep the suite fast.
-THREADED_RUNTIMES = [r for r in ALL_RUNTIMES if r != "processes"]
+# 'processes' forks a pool per run and the 'cluster_*' executors fork a
+# whole rank mesh; exercise those in their dedicated tests (and the
+# conformance suite) rather than in every grid cell to keep the suite fast.
+THREADED_RUNTIMES = [
+    r for r in ALL_RUNTIMES
+    if r != "processes" and not r.startswith("cluster_")
+]
 
 
 def make_graph(pattern, **kw):
@@ -177,12 +181,16 @@ def test_threads_failure_wakes_blocked_workers(monkeypatch):
 def test_run_result_fields(runtime):
     g = make_graph(DependenceType.STENCIL_1D, timesteps=4)
     ex = make_executor(runtime, workers=2)
-    r = ex.run([g])
-    assert r.executor == runtime
-    assert r.elapsed_seconds > 0
-    assert r.cores == ex.cores >= 1
-    assert r.total_dependencies == g.total_dependencies()
-    assert r.task_granularity_seconds > 0
+    try:
+        r = ex.run([g])
+        assert r.executor == runtime
+        assert r.elapsed_seconds > 0
+        assert r.cores == ex.cores >= 1
+        assert r.total_dependencies == g.total_dependencies()
+        assert r.task_granularity_seconds > 0
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
 
 
 def test_processes_executor_patterns():
@@ -237,7 +245,7 @@ class TestRegistry:
         assert set(available_runtimes()) == {
             "serial", "bulk_sync", "p2p", "threads", "processes",
             "shm_processes", "dataflow", "ptg", "actors", "centralized",
-            "futures", "asyncio",
+            "futures", "asyncio", "cluster_tcp", "cluster_uds",
         }
 
     def test_kwargs_forwarded(self):
