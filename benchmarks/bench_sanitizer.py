@@ -1,0 +1,155 @@
+"""Lockset-sanitizer overhead A/B on the threads executor.
+
+Runs the same stencil graph through ``make_executor("threads")`` twice per
+round — once plain, once under :func:`repro.check.sanitized_run` (every
+lock wrapped, every publish/acquire checked against per-thread locksets
+and vector clocks) — and reports the in-run slowdown for two kernels:
+
+* **empty**: zero per-task compute, so the measurement is pure scheduling
+  overhead.  This is exactly the regime METG sweeps probe, and the
+  sanitizer roughly doubles it — the quantitative version of the rule
+  that sanitized timings must never feed METG numbers.
+* **compute_bound** (the smoke config): each task carries real kernel
+  work, which amortizes the constant per-lock-operation cost.  This is
+  the regime ``--sanitize`` is meant for — functional race hunting on a
+  workload shaped like a real run — and the acceptance bound below holds
+  the slowdown under 25%.
+
+Rounds interleave the plain and sanitized runs so host drift lands on
+both sides of the ratio; the minimum across rounds is compared (timing
+floors are the stable statistic on shared hosts).  Only the executor's
+own ``elapsed_seconds`` is timed — trace post-processing (the
+happens-before audit) happens after the clock stops in both the CLI and
+here, so it is deliberately outside the measurement.
+
+Results land in ``benchmarks/results/sanitizer_overhead.json`` (plus a
+rendered text table); DESIGN.md §10 and the README cite them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.check import sanitized_run
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.runtimes import make_executor
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+STEPS = 30
+WIDTH = 16
+PAYLOAD_BYTES = 1024
+REPEATS = 7
+#: The acceptance bound on the compute-bound smoke config.
+MAX_SMOKE_OVERHEAD = 0.25
+
+KERNELS = {
+    "empty": Kernel(kernel_type=KernelType.EMPTY),
+    "compute_bound": Kernel(kernel_type=KernelType.COMPUTE_BOUND, iterations=500),
+}
+SMOKE_KERNEL = "compute_bound"
+
+
+def _graphs(kernel_name: str) -> list:
+    return [
+        TaskGraph(
+            timesteps=STEPS,
+            max_width=WIDTH,
+            dependence=DependenceType.STENCIL_1D,
+            output_bytes_per_task=PAYLOAD_BYTES,
+            kernel=KERNELS[kernel_name],
+        )
+    ]
+
+
+def _run_plain(kernel_name: str) -> float:
+    ex = make_executor("threads", workers=2)
+    try:
+        return ex.run(_graphs(kernel_name)).elapsed_seconds
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+
+
+def _run_sanitized(kernel_name: str) -> tuple:
+    result = sanitized_run(
+        lambda: make_executor("threads", workers=2), _graphs(kernel_name)
+    )
+    assert result.ok, [d.render() for d in result.diagnostics]
+    return result.run.elapsed_seconds, result.stats
+
+
+def test_sanitizer_overhead():
+    rows = {}
+    for kernel_name in KERNELS:
+        _run_plain(kernel_name)  # warm-up round
+        _run_sanitized(kernel_name)
+        base, sanitized = [], []
+        stats = None
+        for _ in range(REPEATS):
+            base.append(_run_plain(kernel_name))
+            elapsed, stats = _run_sanitized(kernel_name)
+            sanitized.append(elapsed)
+        ratio = min(sanitized) / min(base)
+        rows[kernel_name] = {
+            "base_seconds": min(base),
+            "sanitized_seconds": min(sanitized),
+            "overhead_ratio": ratio,
+            "lock_acquires": stats.lock_acquires,
+            "locks_created": stats.locks_created,
+            "publishes_seen": stats.publishes_seen,
+            "reads_checked": stats.reads_checked,
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "scenario": {
+            "runtime": "threads",
+            "workers": 2,
+            "dependence": "stencil_1d",
+            "timesteps": STEPS,
+            "max_width": WIDTH,
+            "output_bytes_per_task": PAYLOAD_BYTES,
+            "repeats": REPEATS,
+            "kernels": {
+                "empty": {"iterations": 0},
+                "compute_bound": {
+                    "iterations": KERNELS["compute_bound"].iterations
+                },
+            },
+            "smoke_kernel": SMOKE_KERNEL,
+            "max_smoke_overhead": MAX_SMOKE_OVERHEAD,
+        },
+        "rows": rows,
+    }
+    (RESULTS_DIR / "sanitizer_overhead.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"{'kernel':>14}  {'plain':>9}  {'sanitized':>9}  {'overhead':>8}",
+    ]
+    for kernel_name, row in rows.items():
+        lines.append(
+            f"{kernel_name:>14}"
+            f"  {row['base_seconds'] * 1e3:>7.1f}ms"
+            f"  {row['sanitized_seconds'] * 1e3:>7.1f}ms"
+            f"  {(row['overhead_ratio'] - 1) * 100:>+7.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "empty-kernel runs measure pure scheduling overhead (the METG "
+        "regime): never report sanitized timings as METG numbers."
+    )
+    (RESULTS_DIR / "sanitizer_overhead.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # The instrumentation really ran on both cells.
+    for row in rows.values():
+        assert row["lock_acquires"] > 0 and row["publishes_seen"] > 0, row
+    # Acceptance: on the compute-bound smoke config the sanitizer costs
+    # less than 25% wall time.
+    smoke = rows[SMOKE_KERNEL]["overhead_ratio"]
+    assert smoke - 1.0 < MAX_SMOKE_OVERHEAD, rows

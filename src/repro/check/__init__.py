@@ -1,6 +1,6 @@
 """Static task-graph analysis, schedule auditing, and contract lint.
 
-Three passes, all reporting :class:`~repro.core.diagnostics.Diagnostic`
+Four passes, all reporting :class:`~repro.core.diagnostics.Diagnostic`
 records:
 
 * :mod:`repro.check.graph_lint` — proves well-formedness of a task-graph
@@ -15,21 +15,42 @@ records:
 * :mod:`repro.check.api_lint` — AST lint of :mod:`repro.runtimes` against
   the O(m + n) executor contract (required members, kernel routing, timing
   discipline, locked shared-state mutation).
+* :mod:`repro.check.concurrency` — lock-order/blocking-call lint over all
+  of ``src/repro`` (deadlock cycles, unpaired ``acquire``, unguarded
+  ``Condition.wait``, blocking calls under a lock) plus an opt-in runtime
+  lockset sanitizer (``--sanitize``) that refines the vector-clock audit
+  with Eraser-style candidate locksets.
 
-All three are wired into the ``task-bench check`` CLI subcommand.
+All four are wired into the ``task-bench check`` CLI subcommand.
 """
 
 from .api_lint import lint_executor_api, lint_runtime_sources
+from .concurrency import (
+    LockSanitizer,
+    SanitizeResult,
+    active_sanitizer,
+    instrument,
+    lint_concurrency,
+    lint_concurrency_sources,
+    sanitized_run,
+)
 from .graph_lint import critical_path_seconds, lint_graphs, peak_payload_bytes
 from .hb_audit import AuditResult, audit_run, audit_trace
 
 __all__ = [
     "AuditResult",
+    "LockSanitizer",
+    "SanitizeResult",
+    "active_sanitizer",
     "audit_run",
     "audit_trace",
     "critical_path_seconds",
+    "instrument",
+    "lint_concurrency",
+    "lint_concurrency_sources",
     "lint_executor_api",
     "lint_graphs",
     "lint_runtime_sources",
     "peak_payload_bytes",
+    "sanitized_run",
 ]

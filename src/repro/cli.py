@@ -27,6 +27,9 @@ Two correctness-tooling entry points (see :mod:`repro.check`)::
     # a normal run with the happens-before schedule audit enabled
     task-bench -steps 100 -width 4 -runtime threads --audit
 
+    # the same plus instrumented locks and the lockset race sanitizer
+    task-bench -steps 100 -width 4 -runtime threads --sanitize
+
 Exit codes for ``check``: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -175,7 +178,12 @@ def run_check(args: List[str]) -> int:
     happens-before schedule audit.  Exit codes: 0 clean, 1 findings, 2
     usage error.
     """
-    from .check import audit_run, lint_graphs, lint_runtime_sources
+    from .check import (
+        audit_run,
+        lint_concurrency_sources,
+        lint_graphs,
+        lint_runtime_sources,
+    )
     from .core.diagnostics import findings, render_report
 
     diagnostics = []
@@ -201,6 +209,7 @@ def run_check(args: List[str]) -> int:
             return 2
 
     diagnostics.extend(lint_runtime_sources())
+    diagnostics.extend(lint_concurrency_sources())
     if not self_only:
         try:
             app = parse_args(args)
@@ -250,6 +259,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if flag in args:
             args.remove(flag)
             audit_enabled = True
+    # --sanitize: run under instrumented locks + the lockset race check.
+    sanitize_enabled = False
+    for flag in ("--sanitize", "-sanitize"):
+        if flag in args:
+            args.remove(flag)
+            sanitize_enabled = True
     # --report: append the data-plane counters to the run report.
     report_enabled = False
     for flag in ("--report", "-report"):
@@ -302,6 +317,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     if app.verbose:
         for g in app.graphs:
             print(g.describe())
+    if sanitize_enabled:
+        if metg_target is not None or app.runtime.startswith("sim:"):
+            print("error: --sanitize requires a single run on a real runtime",
+                  file=sys.stderr)
+            return 2
+        if audit_enabled:
+            print("error: --sanitize already includes the schedule audit; "
+                  "drop --audit", file=sys.stderr)
+            return 2
+        from .check import sanitized_run
+        from .core.diagnostics import findings, render_report
+
+        try:
+            # A factory, not a built executor: construction happens inside
+            # instrument() so the executor's own locks are sanitized.
+            sanitized = sanitized_run(
+                lambda: make_executor(app.runtime, workers=app.workers),
+                app.graphs,
+                validate=app.validate,
+            )
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(sanitized.report())
+        bad = findings(sanitized.diagnostics)
+        if bad:
+            print(render_report(bad))
+            return 1
+        return 0
     if audit_enabled:
         if metg_target is not None or app.runtime.startswith("sim:"):
             print("error: --audit requires a single run on a real runtime",
@@ -368,6 +412,9 @@ app options:
   -scenario NAME     use a named application scenario ({scenarios})
   -persistent-imbalance   per-column (persistent) imbalance multipliers
   --audit            record the schedule and run the happens-before audit
+  --sanitize         run under instrumented locks: the happens-before audit
+                     plus Eraser-style lockset race detection (slower;
+                     never report sanitized timings as METG numbers)
   --report           append data-plane counters (bytes copied/shared, pool
                      hit rate, bytes on the wire) and fault/retry counters
                      to the run report
@@ -388,10 +435,11 @@ fault tolerance (process and cluster executors; env defaults in parentheses):
 
 subcommands:
   check [graph/app options] [-budget SECONDS]
-                     static passes: graph lint, executor-contract lint, and
+                     static passes: graph lint, executor-contract lint,
+                     concurrency lint (lock order, blocking calls), and
                      (for real runtimes) an audited run.
                      exit codes: 0 clean, 1 findings, 2 usage error
-  check --self       executor-contract lint of this repo's runtimes only
+  check --self       contract + concurrency lint of this repo's sources only
 """
 
 

@@ -153,6 +153,10 @@ class Cluster:
                         kind,
                         self._uds_dir,
                         fault if fault is not None and fault.worker == r else None,
+                        # Rank-side mailbox-wait deadline: mirrors the
+                        # launcher's run deadline so a lost wakeup aborts
+                        # in the rank before the parent has to SIGKILL it.
+                        timeout,
                     ),
                     daemon=True,
                     name=f"cluster-rank-{r}",

@@ -110,10 +110,19 @@ class RankDriver:
     """The state of one rank process across runs: graph/scratch caches and
     the connected endpoint."""
 
-    def __init__(self, rank: int, nranks: int, endpoint: Endpoint) -> None:
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        endpoint: Endpoint,
+        recv_timeout: float | None = None,
+    ) -> None:
         self.rank = rank
         self.nranks = nranks
         self.endpoint = endpoint
+        #: Deadline for each remote-input wait; ``None`` trusts the
+        #: failure latch alone (the pre-PR 6 behavior).
+        self.recv_timeout = recv_timeout
         self._graphs: Dict[int, TaskGraph] = {}
         self._scratch: Dict[Tuple[int, int], np.ndarray] = {}
 
@@ -223,7 +232,7 @@ class RankDriver:
         if key not in remote:
             gi, tp, j = key
             tag: Tag = (epoch, gi, tp, j)
-            payload = self.endpoint.recv(tag)
+            payload = self.endpoint.recv(tag, timeout=self.recv_timeout)
             remote.put(key, payload, _local_consumers(g, tp, j, self.rank, self.nranks))
         return remote.take(key)
 
@@ -262,6 +271,7 @@ def rank_main(
     kind: str,
     uds_dir: str | None,
     fault: FaultSpec | None,
+    recv_timeout: float | None = None,
 ) -> None:
     """Entry point of one rank process (the launcher's fork target)."""
     endpoint: Endpoint | None = None
@@ -273,7 +283,7 @@ def rank_main(
             raise RuntimeError(f"expected peers, got {msg[0]!r}")
         endpoint = Endpoint(rank, nranks, listener, msg[1])
         ctl.send(("ready",))
-        driver = RankDriver(rank, nranks, endpoint)
+        driver = RankDriver(rank, nranks, endpoint, recv_timeout=recv_timeout)
         first_run = True
         while True:
             try:

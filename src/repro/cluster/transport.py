@@ -128,9 +128,12 @@ class FrameSocket:
         bufs: List[memoryview] = [memoryview(LEN_STRUCT.pack(total))] + [
             v for v in views if len(v)
         ]
+        # _send_lock is a leaf lock serializing writers on one socket; the
+        # kernel write is bounded by the peer's flush deadline, and no
+        # other lock is ever taken while it is held.
         with self._send_lock:
             while bufs:
-                sent = self._sock.sendmsg(bufs)
+                sent = self._sock.sendmsg(bufs)  # check: allow[blocking-under-lock]
                 while sent > 0:
                     if sent >= len(bufs[0]):
                         sent -= len(bufs[0])
@@ -376,17 +379,32 @@ class Endpoint:
             self._mailbox[tag] = payload
             self._mail_cond.notify_all()
 
-    def recv(self, tag: Tag) -> np.ndarray:
+    def recv(self, tag: Tag, timeout: float | None = None) -> np.ndarray:
         """Block until the message tagged ``tag`` arrives, then claim it.
 
         Wakes on the heartbeat to re-check the failure latch, so a peer
-        death never leaves this rank blocked forever.
+        death never leaves this rank blocked forever.  With ``timeout``
+        set, a message that has not arrived within that many seconds
+        raises :class:`TransportError` — the backstop for wakeups lost to
+        bugs the failure latch cannot see (a peer that is alive but
+        silent), so a mailbox wait can never hang a rank indefinitely.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._mail_cond:
             while tag not in self._mailbox:
                 if self._failure is not None:
                     raise self._failure
-                self._mail_cond.wait(HEARTBEAT_SECONDS)
+                interval = HEARTBEAT_SECONDS
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportError(
+                            f"recv of tag {tag} timed out after {timeout}s "
+                            "with no failure latched — the message was "
+                            "never sent or its wakeup was lost"
+                        )
+                    interval = min(interval, remaining)
+                self._mail_cond.wait(interval)
             return self._mailbox.pop(tag)
 
     def pending(self, epoch: int) -> int:

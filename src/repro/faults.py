@@ -148,7 +148,27 @@ def apply_fault(fault: FaultSpec) -> None:
     ``crash`` and ``wedge`` never return; ``delay`` stalls and returns so
     the round still completes (exercising the deadline machinery without
     failing the run).
+
+    Under an active lockset sanitizer (:mod:`repro.check.concurrency`)
+    only ``delay`` is honored — recorded as an injected stall so the
+    sanitizer can distinguish instrumentation slowness from injected
+    latency.  ``crash``/``wedge`` are refused: killing or wedging the
+    instrumented process would abandon recorded locksets mid-flight and
+    turn every subsequent report into noise.
     """
+    from .check.concurrency import active_sanitizer
+
+    san = active_sanitizer()
+    if san is not None:
+        if fault.kind == "delay":
+            san.note_stall(fault.delay_seconds)
+            time.sleep(fault.delay_seconds)
+            return
+        raise RuntimeError(
+            f"refusing to inject {fault.kind!r} fault under the lockset "
+            "sanitizer: sanitized runs measure ordering, not survival — "
+            "run the chaos leg without --sanitize"
+        )
     if fault.kind == "crash":
         # SIGKILL: no cleanup, no exception shipped to the parent — the
         # parent must detect the death through the broken pipe/heartbeat.

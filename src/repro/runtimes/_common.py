@@ -11,7 +11,7 @@ from __future__ import annotations
 import contextlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,11 +100,38 @@ def tracing(recorder: TraceRecorder):
         _active_recorder = None
 
 
+#: Synchronous per-event observer (see :func:`set_event_observer`).
+_event_observer: Callable[[str, TaskKey, Optional[TaskKey]], None] | None = None
+
+
+def set_event_observer(
+    fn: Callable[[str, TaskKey, Optional[TaskKey]], None] | None,
+) -> None:
+    """Install ``fn`` as the process-wide trace-event observer (``None``
+    clears it).
+
+    Unlike a :class:`TraceRecorder` — which buffers events for post-hoc
+    replay — the observer is invoked *synchronously in the recording
+    thread* at every event site, so it can inspect that thread's live
+    state (its lockset, its clock) at the exact moment of the access.
+    This is the hook the lockset sanitizer
+    (:mod:`repro.check.concurrency`) hangs off; it composes with an
+    installed recorder (both fire).  Only one observer at a time.
+    """
+    global _event_observer
+    if fn is not None and _event_observer is not None:
+        raise RuntimeError("a trace-event observer is already installed")
+    _event_observer = fn
+
+
 def record_event(kind: str, task: TaskKey, source: TaskKey | None = None) -> None:
     """Record one event if tracing is active (no-op otherwise)."""
     rec = _active_recorder
     if rec is not None:
         rec.record(kind, task, source)
+    obs = _event_observer
+    if obs is not None:
+        obs(kind, task, source)
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,14 @@ the schedule audit (:mod:`repro.check.hb_audit`) can see:
   Consumers validate clean, but the publish precedes the producer's finish
   (``hb-early-publish``): on a concurrent schedule they could observe an
   incomplete buffer.
+* :class:`RacyStoreExecutor` runs two real threads over an *unlocked*
+  shared dict, consumers spin-polling for their inputs.  The GIL makes
+  the bytes come out right and the spin makes every publish precede its
+  acquire in the recorded trace, so both validation and the
+  happens-before audit pass — only the lockset sanitizer
+  (:mod:`repro.check.concurrency`), which trusts nothing but real lock
+  hand-offs, sees that the cross-thread reads synchronize on nothing
+  (``conc-lockset-race``).
 
 They live in ``tests/`` because no real configuration should ever construct
 them; they are audit fixtures, not runtimes.
@@ -21,6 +29,8 @@ them; they are audit fixtures, not runtimes.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -131,3 +141,91 @@ class EarlyPublishExecutor(Executor):
                 t, i, inputs, scratch=scratch.get(gi, i), validate=validate
             )
             record_event(EV_FINISH, key)
+
+
+#: Spin-poll interval and give-up deadline of the racy consumer loop.
+_SPIN_SECONDS = 0.0002
+_SPIN_DEADLINE = 10.0
+
+
+class RacyStoreExecutor(Executor):
+    """Two threads sharing a plain dict with no lock and no condition.
+
+    Columns are partitioned by parity; every cross-parity dependence edge
+    is therefore a cross-thread read of the unlocked ``store`` dict, which
+    the consumer spin-polls (``while key not in store: sleep``) instead of
+    waiting on any synchronization primitive.  Under CPython's GIL the
+    dict operations are atomic and the spin guarantees publish-before-read
+    in the recorded trace, so outputs validate bytewise and the
+    happens-before audit finds nothing — the executor is wrong by
+    construction, not by observable effect.  The lockset sanitizer flags
+    every cross-thread read: empty candidate lockset, no lock-transfer
+    happens-before edge.
+
+    Scratch-free graphs only: the shared :class:`ScratchPool` lock would
+    manufacture exactly the lock hand-off edges this fixture must not
+    have.
+    """
+
+    name = "buggy-racy-store"
+    cores = 2
+
+    def execute_graphs(
+        self, graphs: Sequence[TaskGraph], *, validate: bool = True
+    ) -> None:
+        for g in graphs:
+            if g.scratch_bytes_per_task:
+                raise ValueError(
+                    "RacyStoreExecutor supports scratch-free graphs only"
+                )
+        by_index = {g.graph_index: g for g in graphs}
+        store: Dict[TaskKey, np.ndarray] = {}
+        failures: List[BaseException] = []
+
+        def worker(parity: int) -> None:
+            try:
+                for gi, t, i in task_keys(graphs):
+                    if i % 2 != parity:
+                        continue
+                    g = by_index[gi]
+                    key = (gi, t, i)
+                    record_event(EV_START, key)
+                    inputs: List[np.ndarray] = []
+                    for j in g.dependency_points(t, i):
+                        source = (gi, t - 1, j)
+                        deadline = time.monotonic() + _SPIN_DEADLINE
+                        # The bug: no lock, no condition — just watching
+                        # the dict until the other thread's write shows up.
+                        while source not in store:
+                            if failures or time.monotonic() > deadline:
+                                raise RuntimeError(
+                                    f"gave up waiting for {source}"
+                                )
+                            time.sleep(_SPIN_SECONDS)
+                        inputs.append(store[source])
+                        record_event(EV_ACQUIRE, key, source)
+                    out = g.execute_point(t, i, inputs, validate=validate)
+                    record_event(EV_FINISH, key)
+                    if consumer_count(g, t, i) > 0:
+                        # Publish event first, dict write second: a spinning
+                        # consumer can only observe the key after the
+                        # publish is on the trace, keeping hb_audit clean.
+                        record_event(EV_PUBLISH, key)
+                        store[key] = out
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(p,), name=f"racy-store-{p}", daemon=True
+            )
+            for p in (0, 1)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=2 * _SPIN_DEADLINE)
+        if failures:
+            raise failures[0]
+        if any(th.is_alive() for th in threads):
+            raise RuntimeError("racy-store worker thread wedged")

@@ -1,0 +1,407 @@
+"""Tests for the concurrency pass (repro.check.concurrency): one test per
+static finding kind, the runtime lockset sanitizer against seeded and real
+executors, and the self-check gate over the repo's own sources."""
+
+from __future__ import annotations
+
+import textwrap
+import threading
+
+import pytest
+
+from tests.buggy_executor import RacyStoreExecutor
+from repro.check import (
+    active_sanitizer,
+    instrument,
+    lint_concurrency,
+    lint_concurrency_sources,
+    sanitized_run,
+)
+from repro.core import DependenceType, TaskGraph
+from repro.core.diagnostics import findings
+from repro.faults import FaultSpec, apply_fault
+from repro.runtimes import make_executor
+
+
+def lint(source):
+    return lint_concurrency(textwrap.dedent(source), "fake.py")
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def _graph(**kw) -> TaskGraph:
+    kw.setdefault("dependence", DependenceType.STENCIL_1D)
+    kw.setdefault("output_bytes_per_task", 64)
+    kw.setdefault("timesteps", 6)
+    kw.setdefault("max_width", 8)
+    return TaskGraph(**kw)
+
+
+# ---------------------------------------------------------------------------
+# Static half
+# ---------------------------------------------------------------------------
+
+
+def test_clean_module_passes():
+    assert lint("""
+        import threading
+
+        class Scheduler:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.cv = threading.Condition(self.lock)
+
+            def next_task(self):
+                with self.cv:
+                    while not self.ready:
+                        self.cv.wait()
+                    return self.ready.pop()
+    """) == []
+
+
+def test_lock_order_cycle_reported():
+    diags = lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+
+            def f(self):
+                with self.a:
+                    with self.b:
+                        pass
+
+            def g(self):
+                with self.b:
+                    with self.a:
+                        pass
+    """)
+    assert codes(diags) == {"conc-lock-cycle"}
+    assert len(diags) == 1  # one cycle, reported once
+
+
+def test_self_deadlock_on_plain_lock_reported():
+    diags = lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f():
+            with lk:
+                with lk:
+                    pass
+    """)
+    assert codes(diags) == {"conc-lock-cycle"}
+
+
+def test_reentrant_self_nesting_allowed():
+    assert lint("""
+        import threading
+        lk = threading.RLock()
+
+        def f():
+            with lk:
+                with lk:
+                    pass
+    """) == []
+
+
+def test_condition_aliases_its_lock_in_the_order_graph():
+    # Mixing `with self.cv` and `with self.lock` spellings must not hide
+    # the inversion against self.other.
+    diags = lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.other = threading.Lock()
+                self.cv = threading.Condition(self.lock)
+
+            def f(self):
+                with self.cv:
+                    with self.other:
+                        pass
+
+            def g(self):
+                with self.other:
+                    with self.lock:
+                        pass
+    """)
+    assert codes(diags) == {"conc-lock-cycle"}
+
+
+def test_unpaired_acquire_reported():
+    diags = lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f():
+            lk.acquire()
+            do_work()
+            lk.release()
+    """)
+    assert codes(diags) == {"conc-unpaired-acquire"}
+
+
+def test_acquire_with_finally_release_passes():
+    assert lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f():
+            lk.acquire()
+            try:
+                do_work()
+            finally:
+                lk.release()
+    """) == []
+
+
+def test_unguarded_wait_reported():
+    diags = lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self.cv = threading.Condition()
+
+            def f(self):
+                with self.cv:
+                    if not self.ready:
+                        self.cv.wait()
+    """)
+    assert codes(diags) == {"conc-unguarded-wait"}
+
+
+def test_while_guarded_wait_passes():
+    assert lint("""
+        import threading
+        cv = threading.Condition()
+
+        def f():
+            with cv:
+                while not ready():
+                    cv.wait()
+    """) == []
+
+
+def test_blocking_call_under_lock_reported():
+    diags = lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f(sock):
+            with lk:
+                data = sock.recv(1024)
+    """)
+    assert codes(diags) == {"conc-blocking-under-lock"}
+
+
+def test_hinted_blocking_receiver_under_lock_reported():
+    diags = lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f(queue):
+            with lk:
+                return queue.get()
+    """)
+    assert codes(diags) == {"conc-blocking-under-lock"}
+
+
+def test_plain_dict_get_under_lock_passes():
+    assert lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f(cache, key):
+            with lk:
+                return cache.get(key)
+    """) == []
+
+
+def test_wait_holding_a_second_lock_reported():
+    # Condition.wait releases only its own lock; anything else held while
+    # the thread sleeps is the deadlock shape.
+    diags = lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self.outer = threading.Lock()
+                self.cv = threading.Condition()
+
+            def f(self):
+                with self.outer:
+                    with self.cv:
+                        while not self.ready:
+                            self.cv.wait()
+    """)
+    assert codes(diags) == {"conc-blocking-under-lock"}
+
+
+def test_waiver_comment_suppresses_finding():
+    assert lint("""
+        import threading
+        lk = threading.Lock()
+
+        def f(sock):
+            with lk:
+                return sock.recv(4)  # check: allow[blocking-under-lock]
+    """) == []
+
+
+def test_syntax_error_reported_not_raised():
+    assert codes(lint("def broken(:")) == {"conc-syntax"}
+
+
+def test_self_check_real_codebase_clean():
+    """The repo's own sources must pass the concurrency lint — the same
+    gate ``task-bench check --self`` applies in CI."""
+    diags = lint_concurrency_sources()
+    assert findings(diags) == [], [d.render() for d in findings(diags)]
+    # The advisory scan summary proves the walk actually covered files.
+    assert any(d.code == "conc-scan" for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# Runtime half: the lockset sanitizer
+# ---------------------------------------------------------------------------
+
+
+def test_racy_store_executor_flagged():
+    """The seeded fixture validates bytewise and audits clean, but every
+    cross-thread read has an empty candidate lockset and no happens-before
+    edge — only the sanitizer sees it."""
+    result = sanitized_run(RacyStoreExecutor, [_graph()])
+    bad = findings(result.diagnostics)
+    assert bad, "the racy fixture must be flagged"
+    assert codes(bad) == {"conc-lockset-race"}
+    # The trace-level audit alone is blind to this bug.
+    assert not any(d.code.startswith("hb-") for d in bad)
+    assert not result.ok
+    assert "Sanitizer" in result.report()
+
+
+def test_threads_executor_sanitizes_clean():
+    result = sanitized_run(
+        lambda: make_executor("threads", workers=2), [_graph()]
+    )
+    assert findings(result.diagnostics) == [], [
+        d.render() for d in findings(result.diagnostics)
+    ]
+    assert result.ok
+    assert result.stats.lock_acquires > 0  # instrumentation really ran
+    assert result.stats.publishes_seen > 0
+
+
+def test_dataflow_executor_sanitizes_clean():
+    result = sanitized_run(
+        lambda: make_executor("dataflow", workers=2), [_graph()]
+    )
+    assert findings(result.diagnostics) == []
+
+
+def test_p2p_multi_channel_publish_not_a_false_positive():
+    """p2p publishes one output through two channels (mailbox post + local
+    store put); a reader synchronized with either must pass."""
+    result = sanitized_run(lambda: make_executor("p2p", workers=2), [_graph()])
+    assert findings(result.diagnostics) == [], [
+        d.render() for d in findings(result.diagnostics)
+    ]
+
+
+def test_instrument_restores_primitives():
+    real_lock, real_rlock = threading.Lock, threading.RLock
+    with instrument() as san:
+        assert active_sanitizer() is san
+        assert threading.Lock is not real_lock
+        lk = threading.Lock()
+        with lk:
+            pass
+        assert san.stats.lock_acquires >= 1
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+    assert active_sanitizer() is None
+
+
+def test_instrument_does_not_nest():
+    with instrument():
+        with pytest.raises(RuntimeError, match="already installed"):
+            with instrument():
+                pass
+
+
+def test_sanitized_condition_keeps_exact_semantics():
+    """A Condition built over a sanitized lock must wake correctly (the
+    proxy implements the _release_save/_acquire_restore/_is_owned trio)."""
+    with instrument():
+        cv = threading.Condition()
+        hits = []
+
+        def waiter():
+            with cv:
+                while not hits:
+                    cv.wait(timeout=5.0)
+                hits.append("woke")
+
+        th = threading.Thread(target=waiter, daemon=True)
+        th.start()
+        with cv:
+            hits.append("set")
+            cv.notify_all()
+        th.join(timeout=5.0)
+        assert not th.is_alive()
+        assert hits == ["set", "woke"]
+
+
+def test_fault_delay_recorded_under_sanitizer():
+    with instrument() as san:
+        apply_fault(FaultSpec("delay", 0, 0, 0.001))
+        assert san.stats.injected_stalls == 1
+
+
+def test_fault_crash_refused_under_sanitizer():
+    with instrument():
+        with pytest.raises(RuntimeError, match="refusing to inject"):
+            apply_fault(FaultSpec("crash", 0, 0))
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+
+def test_cli_check_self_includes_concurrency_pass(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "conc-scan" in out  # the concurrency pass really ran
+
+
+def test_cli_sanitize_run_clean(capsys):
+    from repro.cli import main
+
+    code = main([
+        "-steps", "4", "-width", "4", "-type", "stencil_1d",
+        "-runtime", "threads", "-workers", "2", "--sanitize",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "Sanitizer clean" in out
+    assert "METG" in out  # the never-report-sanitized-timings warning
+
+
+def test_cli_sanitize_rejects_metg(capsys):
+    from repro.cli import main
+
+    code = main([
+        "-steps", "4", "-width", "4", "-runtime", "threads",
+        "-metg", "--sanitize",
+    ])
+    assert code == 2

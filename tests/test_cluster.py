@@ -181,6 +181,29 @@ class TestFrameSocket:
 
 
 # ---------------------------------------------------------------------------
+# Endpoint mailbox deadline
+# ---------------------------------------------------------------------------
+
+
+def test_endpoint_recv_timeout_raises_promptly():
+    """A mailbox wait with a deadline must abort with TransportError when
+    the message never arrives and no failure is latched — the backstop
+    against lost wakeups that the liveness heartbeat cannot see."""
+    from repro.cluster.transport import Endpoint, TransportError, make_listener
+
+    listener, address = make_listener("tcp", 0, None)
+    endpoint = Endpoint(0, 1, listener, [address])  # one-rank mesh: no peers
+    try:
+        start = time.monotonic()
+        with pytest.raises(TransportError, match="timed out"):
+            endpoint.recv((1, 0, 0, 0), timeout=0.2)
+        elapsed = time.monotonic() - start
+        assert 0.2 <= elapsed < HANG_BOUND
+    finally:
+        endpoint.close()
+
+
+# ---------------------------------------------------------------------------
 # Partitioning
 # ---------------------------------------------------------------------------
 

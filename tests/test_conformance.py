@@ -17,9 +17,18 @@ A second axis runs each executor under the happens-before audit
 
 Marked ``conformance``: the suite is tier-1, and CI additionally runs it as
 its own parallel leg.
+
+Setting ``TASKBENCH_SANITIZE=1`` additionally runs every captured run under
+the lockset sanitizer (:mod:`repro.check.concurrency`) and fails on any
+race finding — CI runs the threads/dataflow subset this way, so the
+same-address-space schedulers are continuously checked against lock-free
+publish paths, not just against bytewise output equality.
 """
 
 from __future__ import annotations
+
+import contextlib
+import os
 
 import pytest
 
@@ -109,20 +118,44 @@ def _communicated(graphs) -> set:
     return keys
 
 
+#: Opt-in: run every captured run under the lockset sanitizer.
+_SANITIZE = bool(os.environ.get("TASKBENCH_SANITIZE", "").strip())
+
+
+@contextlib.contextmanager
+def _maybe_sanitized():
+    """Instrumented locks + race check when TASKBENCH_SANITIZE is set.
+
+    The executor must be constructed *inside* this context so its locks
+    are sanitized (see :func:`repro.check.concurrency.instrument`)."""
+    if not _SANITIZE:
+        yield None
+        return
+    from repro.check import instrument
+
+    with instrument() as sanitizer:
+        yield sanitizer
+
+
 def _run_captured(runtime: str, graphs) -> dict:
     """Outputs published by one run, restricted to communicated tasks."""
-    ex = make_executor(runtime, workers=2)
-    try:
-        with capturing_outputs() as sink:
-            result = ex.run(graphs)
-        assert result.total_tasks == sum(g.total_tasks() for g in graphs)
-        expected = _communicated(graphs)
-        missing = expected - sink.keys()
-        assert not missing, f"{runtime} never published {sorted(missing)[:5]}"
-        return {k: sink[k] for k in expected}
-    finally:
-        if hasattr(ex, "close"):
-            ex.close()
+    with _maybe_sanitized() as sanitizer:
+        ex = make_executor(runtime, workers=2)
+        try:
+            with capturing_outputs() as sink:
+                result = ex.run(graphs)
+        finally:
+            if hasattr(ex, "close"):
+                ex.close()
+    if sanitizer is not None:
+        assert not sanitizer.diagnostics, [
+            d.render() for d in sanitizer.diagnostics
+        ]
+    assert result.total_tasks == sum(g.total_tasks() for g in graphs)
+    expected = _communicated(graphs)
+    missing = expected - sink.keys()
+    assert not missing, f"{runtime} never published {sorted(missing)[:5]}"
+    return {k: sink[k] for k in expected}
 
 
 class _SerialReference:
