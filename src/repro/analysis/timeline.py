@@ -1,35 +1,55 @@
-"""Gantt-style rendering of simulated execution traces.
+"""Gantt-style rendering of execution traces.
 
-Turns a :class:`~repro.sim.simulator.SimStats` task trace into a per-core
-timeline: one row per worker core, time binned into character columns, each
-cell showing which graph's tasks occupied the core (digits ``0``-``9``),
-``*`` where tasks of several graphs share a bin, and spaces where the core
+Turns a task trace into a per-core timeline: one row per worker core (or
+per recorded thread track), time binned into character columns, each cell
+showing which graph's tasks occupied the core (digits ``0``-``9``), ``*``
+where tasks of several graphs share a bin, and spaces where the core
 idled.  This makes the §5.6/§5.7 phenomena directly visible: idle gaps in
 a phased execution's timeline vs an asynchronous system's interleaved
 digits, and the long bars of imbalanced columns.
+
+Two trace shapes are accepted:
+
+* the simulator's 6-tuple :class:`~repro.sim.simulator.TraceEvent`
+  ``(graph, t, i, core, start, end)`` — the historical input, which needs
+  ``num_workers`` to size the rows;
+* structured :class:`~repro.trace.recorder.TraceRecord` spans from a real
+  traced run (``--trace``), where rows are the recorded ``pid/tid``
+  tracks and only kernel spans are drawn.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..sim.simulator import TraceEvent
 
+_FOOTER = "cells: digit = graph index, * = multiple graphs, space = idle"
+
 
 def render_gantt(
-    trace: Sequence[TraceEvent],
-    num_workers: int,
+    trace: Sequence[Any],
+    num_workers: Optional[int] = None,
     *,
     width: int = 72,
     title: str = "",
 ) -> str:
-    """Render a task trace as an ASCII Gantt chart."""
-    if num_workers < 1:
+    """Render a task trace as an ASCII Gantt chart.
+
+    Accepts either simulator 6-tuples (``num_workers`` required) or
+    structured span records (``num_workers`` ignored; one row per
+    ``pid/tid`` track).
+    """
+    if num_workers is not None and num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     if width < 8:
         raise ValueError("width must be >= 8 characters")
     if not trace:
         return (title + "\n" if title else "") + "(empty trace)"
+    if hasattr(trace[0], "ph"):
+        return _render_span_gantt(trace, width=width, title=title)
+    if num_workers is None:
+        raise ValueError("num_workers is required for tuple traces")
 
     t_end = max(ev[5] for ev in trace)
     t_start = min(ev[4] for ev in trace)
@@ -60,7 +80,54 @@ def render_gantt(
         " " * (label_w + 2)
         + f"0{' ' * max(1, width - 14)}{t_end * 1e3:.3g} ms"
     )
-    lines.append("cells: digit = graph index, * = multiple graphs, space = idle")
+    lines.append(_FOOTER)
+    return "\n".join(lines)
+
+
+def _render_span_gantt(
+    records: Sequence[Any], *, width: int, title: str
+) -> str:
+    """Gantt over structured span records: one row per ``pid/tid`` track,
+    kernel spans only (waits and dispatch framing would obscure the
+    occupancy picture this chart is for)."""
+    spans = [r for r in records if r.ph == "X" and r.cat == "kernel"]
+    if not spans:
+        return (title + "\n" if title else "") + "(empty trace)"
+    t_start = min(s.ts_ns for s in spans)
+    t_end = max(s.end_ns for s in spans)
+    span_ns = max(t_end - t_start, 1)
+    bin_w = span_ns / width
+
+    tracks = sorted({(s.pid, s.tid) for s in spans})
+    row_of = {key: n for n, key in enumerate(tracks)}
+    grid: List[List[str]] = [[" "] * width for _ in tracks]
+    for s in spans:
+        c0 = int((s.ts_ns - t_start) / bin_w)
+        c1 = int((s.end_ns - t_start) / bin_w)
+        c0 = min(width - 1, max(0, c0))
+        c1 = min(width - 1, max(c0, c1))
+        task = (s.args or {}).get("task")
+        mark = (
+            str(task[0] % 10)
+            if isinstance(task, (tuple, list)) and task
+            else "#"
+        )
+        row = grid[row_of[(s.pid, s.tid)]]
+        for c in range(c0, c1 + 1):
+            cell = row[c]
+            row[c] = mark if cell in (" ", mark) else "*"
+
+    labels = [f"{pid}/{tid}" for pid, tid in tracks]
+    label_w = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, row_cells in zip(labels, grid):
+        lines.append(label.rjust(label_w) + " |" + "".join(row_cells))
+    lines.append(" " * (label_w + 2) + "-" * width)
+    lines.append(
+        " " * (label_w + 2)
+        + f"0{' ' * max(1, width - 14)}{span_ns * 1e-6:.3g} ms"
+    )
+    lines.append(_FOOTER)
     return "\n".join(lines)
 
 

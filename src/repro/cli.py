@@ -253,6 +253,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args and args[0] == "check":
         return run_check(args[1:])
+    if args and args[0] == "trace":
+        return run_trace(args[1:])
     # --audit: run normally but record the schedule and audit it afterwards.
     audit_enabled = False
     for flag in ("--audit", "-audit"):
@@ -271,6 +273,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         if flag in args:
             args.remove(flag)
             report_enabled = True
+    # --trace PATH: record wall-clock spans and export Chrome trace JSON.
+    trace_path: str | None = None
+    for flag in ("--trace", "-trace"):
+        if flag in args:
+            pos = args.index(flag)
+            args.pop(pos)
+            if pos >= len(args):
+                print("error: --trace is missing its output path",
+                      file=sys.stderr)
+                return 2
+            trace_path = args.pop(pos)
     # -scenario NAME replaces the graph flags with a named application
     # scenario (repro.core.scenarios); -width/-steps/-iter still apply.
     scenario_name: str | None = None
@@ -317,6 +330,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if app.verbose:
         for g in app.graphs:
             print(g.describe())
+    if trace_path is not None:
+        # Tracing is an observability channel for single real runs only:
+        # trace timestamps must never feed METG numbers, the simulator has
+        # its own trace, and the sanitizer/audit own the observer hook.
+        if metg_target is not None:
+            print("error: --trace applies to a single run; drop -metg "
+                  "(trace timings never feed METG)", file=sys.stderr)
+            return 2
+        if app.runtime.startswith("sim:"):
+            print("error: --trace requires a real runtime (the simulator "
+                  "trace is rendered by the analysis tools)", file=sys.stderr)
+            return 2
+        if sanitize_enabled or audit_enabled:
+            print("error: --trace cannot be combined with --audit/--sanitize "
+                  "(they own the event-observer hook)", file=sys.stderr)
+            return 2
     if sanitize_enabled:
         if metg_target is not None or app.runtime.startswith("sim:"):
             print("error: --sanitize requires a single run on a real runtime",
@@ -372,7 +401,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if metg_target is not None:
             print(run_metg(app, metg_target, report=report_enabled))
             return 0
-        result = run_config(app)
+        if trace_path is not None:
+            result = _traced_run(app, trace_path)
+        else:
+            result = run_config(app)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -382,7 +414,82 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 1
     print(result.report(data_plane=report_enabled))
+    if trace_path is not None and not report_enabled and result.trace:
+        # Without --report the trace section is not in the uniform report;
+        # still confirm the export so the flag visibly did something.
+        for line in result.trace.report_lines():
+            print(line)
     return 0
+
+
+def _traced_run(app: AppConfig, trace_path: str) -> RunResult:
+    """Run the configured benchmark under the span recorder and export the
+    merged trace as Chrome trace-event JSON at ``trace_path``."""
+    import dataclasses
+
+    from .core.metrics import TraceStats
+    from .trace import recorder as trace_recorder
+    from .trace.export import write_chrome
+
+    with trace_recorder.capture() as rec:
+        result = run_config(app)
+        tr = rec.collect()
+    write_chrome(tr, trace_path)
+    spans, instants, counters, dropped = trace_recorder.trace_stats(tr)
+    return dataclasses.replace(
+        result,
+        trace=TraceStats(
+            spans=spans,
+            instants=instants,
+            counter_samples=counters,
+            dropped=dropped,
+            path=trace_path,
+        ),
+    )
+
+
+def run_trace(args: List[str]) -> int:
+    """``task-bench trace FILE [--gantt]``: summarize (or render as an
+    ASCII Gantt) a Chrome trace file exported by ``--trace``."""
+    gantt = False
+    for flag in ("--gantt", "-gantt"):
+        if flag in args:
+            args.remove(flag)
+            gantt = True
+    if len(args) != 1:
+        print("error: trace expects exactly one trace file", file=sys.stderr)
+        return 2
+    from .trace import recorder as trace_recorder
+    from .trace.export import load_chrome
+
+    try:
+        tr = load_chrome(args[0])
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    except ValueError as e:
+        print(f"error: {args[0]}: {e}", file=sys.stderr)
+        return 1
+    if gantt:
+        print(render_trace_gantt(tr))
+        return 0
+    spans, instants, counters, dropped = trace_recorder.trace_stats(tr)
+    print(f"Trace Spans {spans} ({instants} instants, "
+          f"{counters} counter samples, {dropped} dropped)")
+    for (pid, tid), records in sorted(tr.tracks().items()):
+        kernels = sum(
+            1 for r in records
+            if r.ph == "X" and r.cat == trace_recorder.CAT_KERNEL
+        )
+        print(f"  {pid}/{tid}: {len(records)} records, {kernels} kernel spans")
+    return 0
+
+
+def render_trace_gantt(tr) -> str:
+    """ASCII Gantt of a loaded trace (one row per recorded track)."""
+    from .analysis.timeline import render_gantt
+
+    return render_gantt(tr.records)
 
 
 def _usage() -> str:
@@ -418,6 +525,10 @@ app options:
   --report           append data-plane counters (bytes copied/shared, pool
                      hit rate, bytes on the wire) and fault/retry counters
                      to the run report
+  --trace PATH       record wall-clock spans (kernel execution, publishes,
+                     waits, wire traffic) during the run and write Chrome
+                     trace-event JSON to PATH — open it in Perfetto or
+                     chrome://tracing; trace timings never feed METG
   --list-runtimes    print each real executor and its isolation level
                      (serial / threads / processes / cluster) and exit
 
@@ -440,6 +551,9 @@ subcommands:
                      (for real runtimes) an audited run.
                      exit codes: 0 clean, 1 findings, 2 usage error
   check --self       contract + concurrency lint of this repo's sources only
+  trace FILE         summarize a Chrome trace file written by --trace
+                     (per-track record and kernel-span counts)
+  trace FILE --gantt render the trace as an ASCII Gantt chart instead
 """
 
 

@@ -41,7 +41,13 @@ from ..core.metrics import WireStats
 from ..core.task_graph import TaskGraph
 from ..faults import FaultSpec
 from ..runtimes._procpool import WorkerCrashError, WorkerTimeoutError
+from ..trace import recorder as trace_recorder
+from ..trace.merge import align_offset
 from .transport import HEARTBEAT_SECONDS, PeerDiedError, TRANSPORTS
+from .wire import MSG_TRACE, WireError, decode
+
+#: One rank's trace pull: (rank, clock offset in ns, buffer dump).
+RankTrace = Tuple[int, int, List[Any]]
 
 #: Deadline for the fork + address exchange + mesh connection phase.
 SETUP_TIMEOUT_SECONDS = 60.0
@@ -236,15 +242,20 @@ class Cluster:
         *,
         validate: bool = True,
         capture: bool = False,
-    ) -> Tuple[WireStats, Dict[Tuple[int, int, int], bytes]]:
+        trace: bool = False,
+    ) -> Tuple[
+        WireStats, Dict[Tuple[int, int, int], bytes], Optional[List[RankTrace]]
+    ]:
         """Execute one epoch across the mesh.
 
-        Returns the merged per-rank :class:`WireStats` delta and — when
-        ``capture`` — the ``{task: bytes}`` output snapshots.  Any failure
-        tears the whole cluster down before raising (see the module
-        docstring): crash evidence raises ``WorkerCrashError``, a missed
-        deadline ``WorkerTimeoutError``, and a rank-side application error
-        (e.g. a ``ValidationError``) is re-raised as itself.
+        Returns the merged per-rank :class:`WireStats` delta, the
+        ``{task: bytes}`` output snapshots when ``capture``, and — when
+        ``trace`` — each rank's span-buffer dump with its clock-alignment
+        offset (``None`` otherwise).  Any failure tears the whole cluster
+        down before raising (see the module docstring): crash evidence
+        raises ``WorkerCrashError``, a missed deadline
+        ``WorkerTimeoutError``, and a rank-side application error (e.g. a
+        ``ValidationError``) is re-raised as itself.
         """
         if self.dead or not self._finalizer.alive:
             raise RuntimeError("cluster is closed")
@@ -258,6 +269,7 @@ class Cluster:
             "order": [g.graph_index for g in graphs],
             "validate": validate,
             "capture": capture,
+            "trace": trace,
         }
         try:
             for conn in self._conns:
@@ -268,7 +280,9 @@ class Cluster:
             raise WorkerCrashError(
                 "a rank died before the run was dispatched"
             ) from exc
-        return self._collect_run()
+        stats, captured = self._collect_run()
+        traces = self._pull_traces() if trace else None
+        return stats, captured, traces
 
     def _collect_run(
         self,
@@ -345,6 +359,49 @@ class Cluster:
                 "been torn down (the next run relaunches it)"
             )
         return stats, captured
+
+    def _pull_traces(self) -> List[RankTrace]:
+        """Drain every rank's span recorder after a successful run.
+
+        One round trip per rank: the parent stamps ``perf_counter_ns``
+        around the ``("trace",)`` request, the rank samples its own clock
+        in the reply's TRACE frame, and Cristian's midpoint estimate
+        (:func:`repro.trace.merge.align_offset`) aligns the rank's
+        timestamps onto the parent's timeline.
+        """
+        deadline = time.monotonic() + SETUP_TIMEOUT_SECONDS
+        out: List[RankTrace] = []
+        for r, conn in enumerate(self._conns):
+            try:
+                t0 = trace_recorder.now()
+                conn.send(("trace",))
+                while not conn.poll(HEARTBEAT_SECONDS):
+                    if time.monotonic() >= deadline:
+                        self.timeouts += 1
+                        self._destroy()
+                        raise WorkerTimeoutError(
+                            f"rank {r} missed the trace-collection deadline"
+                        )
+                msg = conn.recv()
+                t1 = trace_recorder.now()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self.crashes += 1
+                self._destroy()
+                raise WorkerCrashError(
+                    f"rank {r} died during trace collection"
+                ) from exc
+            if msg[0] != "trace":
+                self._destroy()
+                raise WorkerCrashError(
+                    f"rank {r} replied {msg[0]!r} to a trace pull"
+                )
+            decoded = decode(memoryview(msg[1]))
+            if decoded[0] != MSG_TRACE:
+                self._destroy()
+                raise WireError("trace pull returned a non-TRACE frame")
+            _, _rank, clock_ns, buffers = decoded
+            out.append((r, align_offset(t0, t1, clock_ns), buffers))
+        return out
 
     # ------------------------------------------------------------------
     # Teardown

@@ -41,8 +41,9 @@ import numpy as np
 
 from ..core.task_graph import TaskGraph
 from ..faults import FaultSpec, apply_fault
+from ..trace import recorder as trace
 from .transport import Endpoint, make_listener
-from .wire import Tag
+from .wire import Tag, encode_trace
 
 #: Local payload key: (graph_index, timestep, column).
 Key = Tuple[int, int, int]
@@ -213,9 +214,14 @@ class RankDriver:
                     inputs.append(local.take(key))
                 else:
                     inputs.append(self._claim_remote(g, epoch, key, remote))
+        t0 = trace.begin() if trace.enabled else 0
         out = g.execute_point(
             t, i, inputs, scratch=self._scratch_for(g, i), validate=validate
         )
+        if t0:
+            trace.complete(
+                "task", trace.CAT_KERNEL, t0, {"task": (g.graph_index, t, i)}
+            )
         self._deliver(g, t, i, epoch, out, local, captured, capture=capture)
 
     def _claim_remote(
@@ -232,7 +238,14 @@ class RankDriver:
         if key not in remote:
             gi, tp, j = key
             tag: Tag = (epoch, gi, tp, j)
+            t0 = trace.begin() if trace.enabled else 0
             payload = self.endpoint.recv(tag, timeout=self.recv_timeout)
+            if t0:
+                # The communication stall: how long this rank sat waiting
+                # for a peer's output (paper §5.6).
+                trace.complete(
+                    "recv.wait", trace.CAT_SCHED, t0, {"source": key}
+                )
             remote.put(key, payload, _local_consumers(g, tp, j, self.rank, self.nranks))
         return remote.take(key)
 
@@ -255,6 +268,7 @@ class RankDriver:
         if not per_rank:
             return
         key = (g.graph_index, t, i)
+        t0 = trace.begin() if trace.enabled else 0
         if capture:
             captured[key] = out.tobytes()
         for dest, consumers in per_rank.items():
@@ -262,6 +276,8 @@ class RankDriver:
                 local.put(key, out, consumers)
             else:
                 self.endpoint.post(dest, (epoch, *key), out)
+        if t0:
+            trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": key})
 
 
 def rank_main(
@@ -274,6 +290,9 @@ def rank_main(
     recv_timeout: float | None = None,
 ) -> None:
     """Entry point of one rank process (the launcher's fork target)."""
+    # Drop any recorder state inherited from a parent forked mid-capture;
+    # tracing is enabled per run via spec["trace"].
+    trace.fork_reset()
     endpoint: Endpoint | None = None
     try:
         listener, address = make_listener(kind, rank, uds_dir)
@@ -292,8 +311,18 @@ def rank_main(
                 break
             if msg is None or msg[0] == "shutdown":
                 break
+            if msg[0] == "trace":
+                # Trace pull: sample the local clock (the alignment anchor
+                # — see repro.trace.merge), drain the recorder, reply with
+                # a wire-protocol TRACE frame through the control pipe.
+                clock_ns = trace.now()
+                blob = encode_trace(rank, clock_ns, trace.worker_drain())
+                ctl.send(("trace", blob))
+                continue
             _, spec = msg
             try:
+                if spec.get("trace"):
+                    trace.worker_begin()
                 driver.install(spec["graphs"])
                 graphs = driver.graphs_for(spec["order"])
                 base = endpoint.counters.snapshot()

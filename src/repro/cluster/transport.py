@@ -35,10 +35,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..trace import recorder as trace
 from .wire import (
     LEN_STRUCT,
     MAX_FRAME_BYTES,
     MSG_HELLO,
+    MSG_TRACE,
     Tag,
     WireCounters,
     WireError,
@@ -218,11 +220,22 @@ class _Peer:
                 header, payload = self._outbox.popleft()
                 self._sending = True
             try:
+                t0 = trace.begin() if trace.enabled else 0
                 start = time.perf_counter()
                 nbytes = self.fsock.send_frame(header, payload)
                 self._endpoint.counters.count_sent(
                     nbytes, time.perf_counter() - start
                 )
+                if t0:
+                    trace.complete(
+                        "wire.send", trace.CAT_WIRE, t0,
+                        {"peer": self.rank, "bytes": nbytes},
+                    )
+                    s = self._endpoint.counters.snapshot()
+                    trace.counter(
+                        "wire.bytes",
+                        {"sent": s.bytes_sent, "received": s.bytes_received},
+                    )
             except OSError as exc:
                 if not self.closing:
                     self._endpoint.set_failure(
@@ -277,11 +290,14 @@ class _Peer:
                         )
                     )
                 return
+            t0 = trace.begin() if trace.enabled else 0
             start = time.perf_counter()
             decoded = decode(frame)
-            if decoded[0] == MSG_HELLO:
+            if decoded[0] in (MSG_HELLO, MSG_TRACE):
                 self._endpoint.set_failure(
-                    TransportError(f"unexpected HELLO from rank {self.rank}")
+                    TransportError(
+                        f"unexpected control frame from rank {self.rank}"
+                    )
                 )
                 return
             tag, payload = decoded  # type: ignore[misc]
@@ -289,6 +305,16 @@ class _Peer:
                 len(frame), time.perf_counter() - start
             )
             self._endpoint.deliver(tag, payload)
+            if t0:
+                trace.complete(
+                    "wire.recv", trace.CAT_WIRE, t0,
+                    {"peer": self.rank, "bytes": len(frame)},
+                )
+                s = self._endpoint.counters.snapshot()
+                trace.counter(
+                    "wire.bytes",
+                    {"sent": s.bytes_sent, "received": s.bytes_received},
+                )
 
     # -- teardown ------------------------------------------------------
     def close(self) -> None:

@@ -14,6 +14,14 @@ Every message between two rank processes is one *frame*::
     identify which rank is on the other end (connections arrive in
     arbitrary order during mesh setup).
 
+``TRACE`` (``<BIQ``: type, rank, clock_ns)
+    A rank's span-recorder dump, drained by the launcher at trace
+    collection time.  The header carries the rank's ``perf_counter_ns``
+    sample for clock alignment (see :mod:`repro.trace.merge`); the
+    payload is the buffer dump as JSON — this is a cold, once-per-run
+    control frame, so readability beats zero-copy here (and no pickle,
+    same as the rest of the protocol).
+
 ``DATA`` (``<BIiii``: type, epoch, graph_index, timestep, column)
     One task output travelling to one consumer rank.  The header is the
     message *tag* — ``(epoch, graph_index, timestep, column)`` names the
@@ -30,9 +38,10 @@ epoch instead of corrupting the old run.
 
 from __future__ import annotations
 
+import json
 import struct
 import threading
-from typing import Tuple, Union
+from typing import Any, List, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +50,7 @@ from ..core.metrics import WireStats
 #: Message type codes (first header byte).
 MSG_HELLO = 1
 MSG_DATA = 2
+MSG_TRACE = 3
 
 #: Frame length prefix: u32 little-endian, counting header + payload.
 LEN_STRUCT = struct.Struct("<I")
@@ -50,6 +60,9 @@ HELLO_STRUCT = struct.Struct("<BI")
 
 #: DATA header: (type, epoch, graph_index, timestep, column).
 DATA_STRUCT = struct.Struct("<BIiii")
+
+#: TRACE header: (type, rank, perf_counter_ns clock sample).
+TRACE_STRUCT = struct.Struct("<BIQ")
 
 #: Hard cap on a single frame (1 GiB) — a corrupted length prefix must not
 #: make the receiver allocate an absurd buffer.
@@ -79,11 +92,21 @@ def encode_data(tag: Tag, payload: np.ndarray) -> Tuple[bytes, memoryview]:
     return header, memoryview(np.ascontiguousarray(payload)).cast("B")
 
 
-def decode(frame: memoryview) -> Union[Tuple[int, int], Tuple[Tag, np.ndarray]]:
+def encode_trace(rank: int, clock_ns: int, buffers: List[Any]) -> bytes:
+    """Encode one rank's span-buffer dump (see
+    :meth:`repro.trace.recorder.SpanRecorder.dump`) as a TRACE frame."""
+    header = TRACE_STRUCT.pack(MSG_TRACE, rank, clock_ns)
+    return header + json.dumps(buffers, separators=(",", ":")).encode("utf-8")
+
+
+def decode(
+    frame: memoryview,
+) -> Union[Tuple[int, int], Tuple[Tag, np.ndarray], Tuple[int, int, int, List[Any]]]:
     """Decode one received frame (without its length prefix).
 
-    Returns ``(MSG_HELLO, rank)`` for a HELLO and ``(tag, array)`` for a
-    DATA frame.  The array is a zero-copy ``np.frombuffer`` view over the
+    Returns ``(MSG_HELLO, rank)`` for a HELLO, ``(tag, array)`` for a
+    DATA frame, and ``(MSG_TRACE, rank, clock_ns, buffers)`` for a TRACE
+    frame.  The DATA array is a zero-copy ``np.frombuffer`` view over the
     frame's own buffer (read-only, ``uint8``) — the receive path allocates
     one buffer per frame and never copies the payload again.
     """
@@ -101,6 +124,17 @@ def decode(frame: memoryview) -> Union[Tuple[int, int], Tuple[Tag, np.ndarray]]:
         _, epoch, gi, t, i = DATA_STRUCT.unpack(frame[: DATA_STRUCT.size])
         payload = np.frombuffer(frame[DATA_STRUCT.size:], dtype=np.uint8)
         return (epoch, gi, t, i), payload
+    if kind == MSG_TRACE:
+        if len(frame) < TRACE_STRUCT.size:
+            raise WireError(f"TRACE frame has only {len(frame)} bytes")
+        _, rank, clock_ns = TRACE_STRUCT.unpack(frame[: TRACE_STRUCT.size])
+        try:
+            buffers = json.loads(bytes(frame[TRACE_STRUCT.size:]).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"corrupt TRACE payload: {exc}") from None
+        if not isinstance(buffers, list):
+            raise WireError("TRACE payload is not a buffer list")
+        return MSG_TRACE, rank, clock_ns, buffers
     raise WireError(f"unknown message type {kind}")
 
 

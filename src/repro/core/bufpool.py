@@ -51,6 +51,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..trace import recorder as trace
+
 #: Payload bytes live behind either a raw array or a pool handle.
 Payload = Union[np.ndarray, "PayloadRef"]
 
@@ -232,7 +234,10 @@ class SlabPool:
         cap = size_class(nbytes)
         with self._lock:
             self._ensure_open()
-            return self._acquire_locked(cap, nbytes, refs)
+            ref = self._acquire_locked(cap, nbytes, refs)
+        if trace.enabled:
+            self._sample_counters()
+        return ref
 
     def acquire_batch(self, nbytes: int, refs: Sequence[int]) -> List[PayloadRef]:
         """Check out ``len(refs)`` same-sized slots under one lock hold.
@@ -246,7 +251,18 @@ class SlabPool:
         cap = size_class(nbytes)
         with self._lock:
             self._ensure_open()
-            return [self._acquire_locked(cap, nbytes, r) for r in refs]
+            out = [self._acquire_locked(cap, nbytes, r) for r in refs]
+        if trace.enabled:
+            self._sample_counters()
+        return out
+
+    def _sample_counters(self) -> None:
+        """Emit one ``bufpool.hits`` counter sample to the span recorder
+        (a Chrome counter track; cold — only runs under ``--trace``)."""
+        trace.counter(
+            "bufpool.hits",
+            {"hits": self.stats.hits, "misses": self.stats.misses},
+        )
 
     def _acquire_locked(self, cap: int, nbytes: int, refs: int) -> PayloadRef:
         free = self._free.setdefault(cap, [])

@@ -168,6 +168,33 @@ class FaultStats:
 
 
 @dataclass(frozen=True)
+class TraceStats:
+    """Summary of a wall-clock span trace collected during a run.
+
+    Tracing (:mod:`repro.trace`) records spans on a separate channel from
+    the timings above — trace timestamps never feed METG or the
+    granularity formula, they only describe *where* the wall-clock went.
+    This record carries the collection totals (and the export path when
+    the CLI wrote a Chrome trace file) into the uniform report.
+    """
+
+    spans: int = 0
+    instants: int = 0
+    counter_samples: int = 0
+    dropped: int = 0
+    path: Optional[str] = None
+
+    def report_lines(self) -> List[str]:
+        """Trace section of the uniform report."""
+        where = f" -> {self.path}" if self.path else ""
+        return [
+            f"Trace Spans {self.spans} ({self.instants} instants, "
+            f"{self.counter_samples} counter samples, "
+            f"{self.dropped} dropped){where}",
+        ]
+
+
+@dataclass(frozen=True)
 class RunResult:
     """Outcome of executing a set of task graphs on some executor.
 
@@ -193,6 +220,9 @@ class RunResult:
     faults:
         Fault-tolerance counters (see :class:`FaultStats`); ``None`` when
         no fault activity was observed (or the executor is unsupervised).
+    trace:
+        Span-trace summary (see :class:`TraceStats`); ``None`` unless the
+        run was traced (the CLI's ``--trace`` flag).
     """
 
     executor: str
@@ -205,6 +235,7 @@ class RunResult:
     validated: bool = True
     data_plane: Optional[DataPlaneStats] = None
     faults: Optional[FaultStats] = None
+    trace: Optional[TraceStats] = None
 
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
@@ -275,6 +306,8 @@ class RunResult:
                 lines.append("Data Plane (not instrumented)")
             if self.faults is not None:
                 lines.extend(self.faults.report_lines())
+            if self.trace is not None:
+                lines.extend(self.trace.report_lines())
         return "\n".join(lines)
 
     def with_elapsed(self, elapsed_seconds: float) -> "RunResult":

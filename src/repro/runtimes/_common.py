@@ -19,6 +19,7 @@ from ..core import bufpool
 from ..core.bufpool import PayloadRef, PoolStats, SlabPool
 from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 
 #: Task key: (graph_index, timestep, column).
 TaskKey = Tuple[int, int, int]
@@ -238,12 +239,16 @@ class OutputStore:
         """Store ``value`` to be read by exactly ``consumers`` tasks."""
         if consumers <= 0:
             return
+        traced = trace.enabled
+        t0 = trace.begin() if traced else 0
         record_event(EV_PUBLISH, key)
         capture_output(key, value)
         with self._lock:
             if key in self._data:
                 raise RuntimeError(f"output for task {key} stored twice")
             self._data[key] = (value, consumers)
+        if traced:
+            trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": key})
 
     def take(self, key: TaskKey) -> "bufpool.Payload":
         """Read one consumer's copy of the output of ``key``."""
@@ -332,18 +337,25 @@ def run_point(
     record_event(EV_START, key)
     inputs = store.gather(g, t, i)
     consumers = consumer_count(g, t, i)
+    traced = trace.enabled
     if pool is None:
+        t0 = trace.begin() if traced else 0
         out = g.execute_point(
             t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
         )
+        if traced:
+            trace.complete("task", trace.CAT_KERNEL, t0, {"task": key})
         record_event(EV_FINISH, key)
         store.put(key, out, consumers)
         return
     ref = pool.acquire(g.output_bytes_per_task, refs=max(consumers, 1))
+    t0 = trace.begin() if traced else 0
     g.execute_point(
         t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate,
         out=ref,
     )
+    if traced:
+        trace.complete("task", trace.CAT_KERNEL, t0, {"task": key})
     record_event(EV_FINISH, key)
     if consumers > 0:
         store.put(key, ref, consumers)

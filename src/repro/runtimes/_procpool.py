@@ -47,6 +47,7 @@ from multiprocessing.connection import Connection
 from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from ..faults import FaultSpec, apply_fault
+from ..trace import recorder as trace
 
 #: Liveness-check interval while waiting on a worker reply (seconds).
 HEARTBEAT_SECONDS = 0.05
@@ -79,6 +80,10 @@ def _worker_main(
     initargs: Tuple[Any, ...],
     fault: FaultSpec | None,
 ) -> None:
+    # A child forked mid-capture inherits the parent's recorder (and its
+    # buffered history); discard it — the parent enables worker-side
+    # tracing explicitly via a worker_begin broadcast.
+    trace.fork_reset()
     # The child end of the pipe is closed in a finally: even an
     # initializer crash EOFs the parent's pipe instead of leaving it
     # blocked on a worker that will never reply.
@@ -330,6 +335,7 @@ class ForkWorkerPool:
         and the pool remains usable after :meth:`heal`.
         """
         self._ensure_open()
+        t0 = trace.begin() if trace.enabled else 0
         n = self.workers
         assigned: List[List[Any]] = [[] for _ in range(n)]
         order: List[List[int]] = [[] for _ in range(n)]
@@ -358,6 +364,12 @@ class ForkWorkerPool:
                     results[k] = value
         if failure is not None:
             raise failure
+        if t0:
+            # One span per round: dispatch + barrier, the per-timestep
+            # cost METG probes pay on the process executors.
+            trace.complete(
+                "pool.round", trace.CAT_DISPATCH, t0, {"chunks": len(chunks)}
+            )
         return results
 
     def broadcast(self, func: Callable[..., Any], *args: Any) -> List[Optional[Any]]:

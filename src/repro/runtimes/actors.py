@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import (
     EV_ACQUIRE,
     EV_FINISH,
@@ -147,6 +148,7 @@ class ActorExecutor(Executor):
             if t > 0:
                 for j in g.dependency_points(t, actor.column):
                     record_event(EV_ACQUIRE, task, (g.graph_index, t - 1, j))
+            t0 = trace.begin() if trace.enabled else 0
             out = g.execute_point(
                 t,
                 actor.column,
@@ -154,11 +156,16 @@ class ActorExecutor(Executor):
                 scratch=scratch.get(g.graph_index, actor.column),
                 validate=validate,
             )
+            if t0:
+                trace.complete("task", trace.CAT_KERNEL, t0, {"task": task})
             record_event(EV_FINISH, task)
             consumers = list(g.reverse_dependency_points(t, actor.column))
             if consumers:
+                t0 = trace.begin() if trace.enabled else 0
                 record_event(EV_PUBLISH, task)
                 capture_output(task, out)
+                if t0:
+                    trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": task})
             for j in consumers:
                 deliver(actors[(g.graph_index, j)], t + 1, actor.column, out)
             with actor.lock:

@@ -16,6 +16,7 @@ from typing import Dict, Sequence
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import (
     EV_ACQUIRE,
     EV_FINISH,
@@ -67,12 +68,21 @@ class AsyncioExecutor(Executor):
                     record_event(EV_ACQUIRE, key, (gi, t - 1, j))
             async with sem:  # a core
                 record_event(EV_START, key)
+                # No await between begin and complete: the kernel runs
+                # synchronously on the loop thread, so kernel spans on this
+                # single track never overlap.
+                t0 = trace.begin() if trace.enabled else 0
                 out = g.execute_point(
                     t, i, inputs, scratch=scratch.get(gi, i), validate=validate
                 )
+                if t0:
+                    trace.complete("task", trace.CAT_KERNEL, t0, {"task": key})
                 record_event(EV_FINISH, key)
+            t0 = trace.begin() if trace.enabled else 0
             record_event(EV_PUBLISH, key)
             capture_output(key, out)
+            if t0:
+                trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": key})
             outputs[key].set_result(out)
 
         coros = [task(gi, t, i) for gi, t, i in task_keys(graphs)]

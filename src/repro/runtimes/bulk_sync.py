@@ -16,6 +16,7 @@ from ..core.bufpool import HeapSlabPool
 from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import OutputStore, ScratchPool, pool_data_plane, run_point
 
 
@@ -46,6 +47,7 @@ class BulkSyncExecutor(Executor):
         try:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 for t in range(max_t):
+                    t0 = trace.begin() if trace.enabled else 0
                     futures = []
                     for g in graphs:
                         if t >= g.timesteps:
@@ -63,6 +65,12 @@ class BulkSyncExecutor(Executor):
                     # launches.
                     for f in futures:
                         f.result()
+                    if t0:
+                        # The phase span: submit + barrier for one timestep,
+                        # the idle-gap signature of the bulk-sync model.
+                        trace.complete(
+                            "timestep", trace.CAT_DISPATCH, t0, {"t": t}
+                        )
             store.assert_drained()
             self._data_plane = pool_data_plane(buffers)
         finally:

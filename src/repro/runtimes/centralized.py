@@ -22,6 +22,7 @@ from typing import Dict, Sequence
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import OutputStore, ScratchPool, TaskKey, run_point
 
 
@@ -95,6 +96,8 @@ class CentralizedExecutor(Executor):
             while remaining > 0:
                 # Dispatch every currently-ready task, round-robin, paying
                 # the controller's per-task cost inline.
+                t0 = trace.begin() if (ready and trace.enabled) else 0
+                dispatched = 0
                 while ready and error is None:
                     key = ready.pop()
                     if self.dispatch_overhead_us:
@@ -105,6 +108,14 @@ class CentralizedExecutor(Executor):
                             pass
                     work_queues[next(rr)].put(key)
                     in_flight += 1
+                    dispatched += 1
+                if t0:
+                    # One span per dispatch batch: the controller's
+                    # throughput ceiling made visible.
+                    trace.complete(
+                        "dispatch", trace.CAT_DISPATCH, t0,
+                        {"tasks": dispatched},
+                    )
                 if in_flight == 0:
                     break  # an error drained the pipeline
                 kind, payload = completions.get()

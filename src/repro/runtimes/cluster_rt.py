@@ -42,6 +42,7 @@ from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats, FaultStats
 from ..core.task_graph import TaskGraph
 from ..faults import FaultSpec, default_timeout, fault_from_env
+from ..trace import recorder as trace
 from ._common import (
     EV_ACQUIRE,
     EV_FINISH,
@@ -169,9 +170,17 @@ class _ClusterExecutor(Executor):
 
     def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
         cluster = self._ensure_cluster()
-        wire, captured = cluster.run(
-            graphs, validate=validate, capture=capture_active()
+        traced = trace.enabled
+        t0 = trace.begin() if traced else 0
+        wire, captured, rank_traces = cluster.run(
+            graphs, validate=validate, capture=capture_active(), trace=traced
         )
+        if t0:
+            trace.complete(
+                "cluster.run", trace.CAT_DISPATCH, t0, {"ranks": self.workers}
+            )
+        for r, offset_ns, buffers in rank_traces or []:
+            trace.ingest(f"rank-{r}", buffers, offset_ns=offset_ns)
         self._data_plane = DataPlaneStats(wire=wire)
         self._surface_run(graphs, captured)
 

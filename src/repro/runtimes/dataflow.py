@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import OutputStore, ScratchPool, TaskKey, run_point, task_keys
 
 DataItem = Tuple[int, int, int]  # (graph_index, column, field)
@@ -192,6 +193,7 @@ class DataflowExecutor(Executor):
 
         try:
             nf = self.nb_fields
+            t0 = trace.begin() if trace.enabled else 0
             for gi, t, i in task_keys(graphs):
                 g = by_index[gi]
                 reads = (
@@ -205,6 +207,11 @@ class DataflowExecutor(Executor):
                     )
                 )
                 sched.submit((gi, t, i), reads, (gi, i, t % nf), body)
+            if t0:
+                # Discovery overlaps execution; its span length against the
+                # workers' kernel spans shows how far ahead the main thread
+                # runs.
+                trace.complete("stf.discover", trace.CAT_DISPATCH, t0)
         finally:
             sched.finish_discovery()
             for th in threads:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import (
     EV_ACQUIRE,
     EV_FINISH,
@@ -68,15 +69,21 @@ class FuturesExecutor(Executor):
                 for j, f in zip(g.dependency_points(t, i), input_futures):
                     inputs.append(f.result())
                     record_event(EV_ACQUIRE, task, (g.graph_index, t - 1, j))
+            t0 = trace.begin() if trace.enabled else 0
             out = g.execute_point(
                 t, i, inputs, scratch=scratch.get(g.graph_index, i),
                 validate=validate,
             )
+            if t0:
+                trace.complete("task", trace.CAT_KERNEL, t0, {"task": task})
             record_event(EV_FINISH, task)
             # The future resolving (immediately after this return) is the
             # publication point; record it before the value becomes visible.
+            t0 = trace.begin() if trace.enabled else 0
             record_event(EV_PUBLISH, task)
             capture_output(task, out)
+            if t0:
+                trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": task})
             return out
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:

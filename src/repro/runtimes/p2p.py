@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import (
     EV_ACQUIRE,
     EV_FINISH,
@@ -204,11 +205,20 @@ class P2PExecutor(Executor):
                 if block_owner(j, g.max_width, self.workers) == rank:
                     inputs.append(local.take(key))
                 else:
+                    t0 = trace.begin() if trace.enabled else 0
                     inputs.append(mailboxes[rank].recv(key))
+                    if t0:
+                        trace.complete(
+                            "recv.wait", trace.CAT_SCHED, t0,
+                            {"task": task, "source": key},
+                        )
                 record_event(EV_ACQUIRE, task, key)
+        t0 = trace.begin() if trace.enabled else 0
         out = g.execute_point(
             t, i, inputs, scratch=scratch.get(g.graph_index, i), validate=validate
         )
+        if t0:
+            trace.complete("task", trace.CAT_KERNEL, t0, {"task": task})
         record_event(EV_FINISH, task)
         self._deliver(rank, g, t, i, out, mailboxes, local)
 
@@ -234,8 +244,11 @@ class P2PExecutor(Executor):
             # Remote sends bypass OutputStore.put, so the mailbox path needs
             # its own publish event and capture snapshot (local.put records
             # its own).
+            t0 = trace.begin() if trace.enabled else 0
             record_event(EV_PUBLISH, key)
             capture_output(key, out)
+            if t0:
+                trace.complete("publish", trace.CAT_PUBLISH, t0, {"task": key})
         for dest, consumers in per_rank.items():
             if dest == rank:
                 local.put(key, out, consumers)

@@ -37,6 +37,7 @@ from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats, FaultStats
 from ..core.task_graph import TaskGraph
 from ..faults import FaultSpec, default_timeout, fault_from_env
+from ..trace import recorder as trace
 from ._common import EV_FINISH, EV_START, OutputStore, consumer_count, record_event
 from ._procpool import ForkWorkerPool, WorkerCrashError, WorkerTimeoutError
 
@@ -113,9 +114,14 @@ def _worker_chunk(
     g = _WORKER_GRAPHS[gi]
     scratch = worker_scratch(g)
     out = []
+    traced = trace.enabled
     for i, inputs in zip(columns, inputs_per_column):
-        out.append((i, g.execute_point(t, i, inputs, scratch=scratch,
-                                       validate=validate)))
+        t0 = trace.begin() if traced else 0
+        result = g.execute_point(t, i, inputs, scratch=scratch,
+                                 validate=validate)
+        if t0:
+            trace.complete("task", trace.CAT_KERNEL, t0, {"task": (gi, t, i)})
+        out.append((i, result))
     return out
 
 
@@ -150,6 +156,9 @@ class _PhasedProcessExecutor(Executor):
         self._fault_stats: FaultStats | None = None
         self._procs: ForkWorkerPool | None = None
         self._known: Dict[int, TaskGraph] = {}
+        # Whether the pool's workers currently hold a live span recorder
+        # (a traced run began but has not drained them yet).
+        self._workers_traced = False
         # Supervision counters carried over from pools that were dropped.
         self._fault_base = FaultStats()
 
@@ -200,6 +209,7 @@ class _PhasedProcessExecutor(Executor):
                 fault=self.fault,
             )
             self._known = wire
+            self._sync_worker_tracing()
             return self._procs
         stale = [wire[gi] for gi in wire if self._known.get(gi) != wire[gi]]
         self._known.update({g.graph_index: g for g in stale})
@@ -215,7 +225,34 @@ class _PhasedProcessExecutor(Executor):
             # assignment alone might not — so no worker can execute a
             # stale graph later in the run.
             self._procs.broadcast(_worker_update, stale)
+        self._sync_worker_tracing()
         return self._procs
+
+    def _sync_worker_tracing(self) -> None:
+        """Make worker-side recording agree with this run's tracing state.
+
+        A traced run installs a fresh recorder in every worker; an
+        untraced run after a traced one that never drained (it failed)
+        discards the stale worker recorders.  Untraced steady state pays
+        no broadcast at all.
+        """
+        assert self._procs is not None
+        if trace.enabled:
+            self._procs.broadcast(trace.worker_begin)
+            self._workers_traced = True
+        elif self._workers_traced:
+            self._procs.broadcast(trace.fork_reset)
+            self._workers_traced = False
+
+    def _drain_worker_traces(self, procs: ForkWorkerPool) -> None:
+        """Collect every worker's span buffers into the active capture
+        (same-host monotonic clocks: no offset needed)."""
+        if not trace.enabled or not self._workers_traced:
+            return
+        for w, dump in enumerate(procs.broadcast(trace.worker_drain)):
+            if dump:
+                trace.ingest(f"worker-{w}", dump)
+        self._workers_traced = False
 
     def execute_graphs(
         self, graphs: Sequence[TaskGraph], *, validate: bool = True
@@ -282,6 +319,7 @@ class ProcessPoolExecutor(_PhasedProcessExecutor):
                     bytes_copied += out.nbytes
                     payloads_copied += 1
                     store.put((gi, t, i), out, consumer_count(g, t, i))
+        self._drain_worker_traces(procs)
         store.assert_drained()
         self._data_plane = DataPlaneStats(
             bytes_copied=bytes_copied, payloads_copied=payloads_copied

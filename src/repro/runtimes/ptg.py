@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.executor_base import Executor
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import OutputStore, ScratchPool, run_point, task_keys
 
 
@@ -89,7 +90,13 @@ class PTGExecutor(Executor):
         self, graphs: Sequence[TaskGraph], *, validate: bool = True
     ) -> None:
         by_index = {g.graph_index: g for g in graphs}
+        t0 = trace.begin() if trace.enabled else 0
         dag = expand(graphs)
+        if t0:
+            trace.complete(
+                "ptg.expand", trace.CAT_DISPATCH, t0,
+                {"tasks": dag.num_tasks, "edges": dag.num_edges},
+            )
         store = OutputStore()
         scratch = ScratchPool(graphs)
 

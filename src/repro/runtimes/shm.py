@@ -44,6 +44,7 @@ from ..core.bufpool import (
     sweep_orphaned_segments,
 )
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import (
     EV_FINISH,
     EV_START,
@@ -75,9 +76,13 @@ def _shm_worker_chunk(args: _Chunk) -> int:
     gi, t, columns, inputs_per_column, out_refs, validate = args
     g = _WORKER_GRAPHS[gi]
     scratch = worker_scratch(g)
+    traced = trace.enabled
     for i, inputs, out in zip(columns, inputs_per_column, out_refs):
+        t0 = trace.begin() if traced else 0
         g.execute_point(t, i, inputs, scratch=scratch, validate=validate,
                         out=out)
+        if t0:
+            trace.complete("task", trace.CAT_KERNEL, t0, {"task": (gi, t, i)})
     return len(columns)
 
 
@@ -163,6 +168,7 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
                 # inputs is complete, so the consumers' references drop
                 # and fully-read slots recycle.
                 pool.decref_batch(ref for refs in in_refs for ref in refs)
+        self._drain_worker_traces(procs)
         store.assert_drained()
         if pool.live_slots:
             raise RuntimeError(

@@ -17,6 +17,7 @@ from ..core.bufpool import HeapSlabPool
 from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
+from ..trace import recorder as trace
 from ._common import OutputStore, ScratchPool, TaskKey, pool_data_plane, run_point
 
 
@@ -108,7 +109,10 @@ class ThreadPoolTaskExecutor(Executor):
         def worker() -> None:
             try:
                 while True:
+                    t0 = trace.begin() if trace.enabled else 0
                     key = sched.next_task()
+                    if t0:
+                        trace.complete("sched.wait", trace.CAT_SCHED, t0)
                     if key is None:
                         return
                     gi, t, i = key

@@ -1,0 +1,48 @@
+"""repro.trace — wall-clock span tracing for the real executors.
+
+Public surface:
+
+* :mod:`repro.trace.recorder` — the span recorder (``capture()``,
+  ``enabled``, ``begin``/``complete``/``instant``/``counter``); executors
+  import this module directly so the ``enabled`` flag stays a live
+  attribute read.
+* :mod:`repro.trace.merge` — per-rank clock alignment and dump merging.
+* :mod:`repro.trace.export` — Chrome trace-event JSON in/out + schema
+  validation.
+* :mod:`repro.trace.conformance` — the well-formedness checker backing
+  the ``traceconf`` test tier.
+"""
+
+from .conformance import check_trace
+from .export import load_chrome, to_chrome, validate_chrome, write_chrome
+from .merge import align_offset, merge_dumps
+from .recorder import (
+    CAT_DISPATCH,
+    CAT_KERNEL,
+    CAT_PUBLISH,
+    CAT_SCHED,
+    CAT_WIRE,
+    SpanRecorder,
+    Trace,
+    TraceRecord,
+    capture,
+)
+
+__all__ = [
+    "CAT_DISPATCH",
+    "CAT_KERNEL",
+    "CAT_PUBLISH",
+    "CAT_SCHED",
+    "CAT_WIRE",
+    "SpanRecorder",
+    "Trace",
+    "TraceRecord",
+    "align_offset",
+    "capture",
+    "check_trace",
+    "load_chrome",
+    "merge_dumps",
+    "to_chrome",
+    "validate_chrome",
+    "write_chrome",
+]

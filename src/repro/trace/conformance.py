@@ -1,0 +1,133 @@
+"""Trace well-formedness checking — the `traceconf` tier's oracle.
+
+A trace is only useful as evidence if it is internally consistent, so
+every executor's trace is held to the same contract:
+
+* **No negative durations.**  A span that ends before it starts means a
+  site paired the wrong begin/complete calls.
+* **Proper nesting per track.**  Two spans on one thread either nest or
+  are disjoint; partial overlap means two sites interleaved their
+  begin/complete pairs (spans from *different* threads may overlap
+  freely — that is parallelism, not malformation).
+* **Exactly one kernel span per task.**  The kernel span is the trace's
+  ground truth; a missing one means an executor path is not instrumented,
+  a duplicate means a task ran twice, an unknown key means label
+  corruption (e.g. a JSON round trip that was not re-normalized).
+* **Monotone per-buffer order.**  Events are recorded at completion time
+  by a single thread, so each buffer's recorded order must be
+  non-decreasing in end timestamp — and this survives rank alignment
+  because the offset is additive per buffer.  A violation means buffers
+  were interleaved during merge (a track-collision bug).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List, Sequence, Tuple
+
+from .recorder import CAT_KERNEL, Trace
+
+
+def check_trace(trace: Trace, graphs: Sequence[Any] | None = None) -> List[str]:
+    """Check a collected trace; returns a list of problems (empty = ok).
+
+    When ``graphs`` is given, kernel-span coverage is checked against the
+    graphs' exact task set.
+    """
+    problems: List[str] = []
+    problems.extend(_check_durations(trace))
+    problems.extend(_check_nesting(trace))
+    problems.extend(_check_buffer_monotonicity(trace))
+    if graphs is not None:
+        problems.extend(_check_kernel_coverage(trace, graphs))
+    return problems
+
+
+def _check_durations(trace: Trace) -> List[str]:
+    problems = []
+    for r in trace.records:
+        if r.dur_ns < 0:
+            problems.append(
+                f"negative duration: {r.name} on {r.pid}:{r.tid} ({r.dur_ns} ns)"
+            )
+    return problems
+
+
+def _check_nesting(trace: Trace) -> List[str]:
+    """Spans on one track must nest or be disjoint.  Sorting by
+    ``(start, -duration)`` makes an enclosing span precede its children;
+    a stack then catches any partial overlap."""
+    problems = []
+    for (pid, tid), records in trace.tracks().items():
+        spans = sorted(
+            (r for r in records if r.ph == "X"),
+            key=lambda r: (r.ts_ns, -r.dur_ns),
+        )
+        stack: List[Any] = []
+        for s in spans:
+            while stack and stack[-1].end_ns <= s.ts_ns:
+                stack.pop()
+            if stack and s.end_ns > stack[-1].end_ns:
+                problems.append(
+                    f"overlapping spans on {pid}:{tid}: "
+                    f"{stack[-1].name}@{stack[-1].ts_ns} and {s.name}@{s.ts_ns}"
+                )
+                continue
+            stack.append(s)
+    return problems
+
+
+def _check_buffer_monotonicity(trace: Trace) -> List[str]:
+    """Recorded order per track is completion order: end timestamps must
+    be non-decreasing (instants/counters count with their own ts)."""
+    problems = []
+    for (pid, tid), records in trace.tracks().items():
+        prev = None
+        for r in records:
+            end = r.end_ns
+            if prev is not None and end < prev:
+                problems.append(
+                    f"non-monotone buffer on {pid}:{tid}: "
+                    f"{r.name} ends at {end} after an event ending at {prev}"
+                )
+            prev = end
+    return problems
+
+
+def _check_kernel_coverage(trace: Trace, graphs: Sequence[Any]) -> List[str]:
+    from ..runtimes._common import task_keys
+
+    expected = list(task_keys(graphs))
+    counts: Counter = Counter()
+    problems: List[str] = []
+    for r in trace.kernel_spans():
+        key = r.args.get("task")
+        if isinstance(key, (list, tuple)) and len(key) == 3:
+            counts[tuple(key)] += 1
+        else:
+            problems.append(
+                f"kernel span without a task key: {r.name} on {r.pid}:{r.tid}"
+            )
+    expected_set = set(expected)
+    for key, n in counts.items():
+        if key not in expected_set:
+            problems.append(f"kernel span for unknown task {key}")
+        elif n != 1:
+            problems.append(f"task {key} has {n} kernel spans (expected 1)")
+    missing = [k for k in expected if k not in counts]
+    if missing:
+        shown = ", ".join(map(str, missing[:5]))
+        more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+        problems.append(f"{len(missing)} tasks without a kernel span: {shown}{more}")
+    return problems
+
+
+def kernel_intervals(trace: Trace) -> List[Tuple[Tuple[int, int, int], int, int]]:
+    """``(task_key, start_ns, end_ns)`` for every kernel span — handy for
+    tests asserting schedule properties on top of well-formedness."""
+    out = []
+    for r in trace.kernel_spans():
+        key = r.args.get("task")
+        if isinstance(key, (list, tuple)) and len(key) == 3:
+            out.append((tuple(key), r.ts_ns, r.end_ns))
+    return out

@@ -1,0 +1,147 @@
+"""Chrome trace-event export and validation.
+
+The on-disk format is the JSON Object Format of the Chrome trace-event
+spec — ``{"traceEvents": [...]}`` — because it is what ``chrome://tracing``
+and Perfetto's legacy importer load directly, and it round-trips through
+plain :mod:`json`.  Conventions:
+
+* ``ph``: ``"X"`` complete spans, ``"i"`` instants (scope ``"t"``),
+  ``"C"`` counter samples, ``"M"`` metadata.
+* ``ts``/``dur`` are **microseconds** (floats), rebased so the earliest
+  event sits at 0 — Perfetto renders absolute ``perf_counter`` origins
+  poorly.
+* ``pid``/``tid`` are the recorder's string labels (``"main"``,
+  ``"rank-2"`` / thread names), not OS ids; the viewers accept strings
+  and the labels carry more meaning than pids ever would.
+
+``validate_chrome`` is the schema gate CI runs against exported files;
+``load_chrome`` reverses the export closely enough for ``task-bench
+trace`` to summarize and Gantt-render a file it did not itself write.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .recorder import Trace, TraceRecord
+
+_VALID_PH = {"X", "i", "C", "M"}
+
+
+def to_chrome(trace: Trace) -> Dict[str, Any]:
+    """Render a :class:`Trace` as a Chrome trace-event JSON object."""
+    records = trace.records
+    t0 = min((r.ts_ns for r in records), default=0)
+    events: List[Dict[str, Any]] = []
+    for r in records:
+        ev: Dict[str, Any] = {
+            "name": r.name,
+            "ph": r.ph,
+            "ts": (r.ts_ns - t0) / 1000.0,
+            "pid": r.pid,
+            "tid": r.tid,
+        }
+        if r.cat:
+            ev["cat"] = r.cat
+        if r.ph == "X":
+            ev["dur"] = r.dur_ns / 1000.0
+        elif r.ph == "i":
+            ev["s"] = "t"  # thread-scoped instant
+        if r.args:
+            ev["args"] = {k: _jsonable(v) for k, v in r.args.items()}
+        events.append(ev)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "task-bench", "dropped_events": trace.dropped},
+    }
+
+
+def write_chrome(trace: Trace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(trace), fh)
+        fh.write("\n")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def validate_chrome(obj: Any) -> List[str]:
+    """Check an object against the subset of the Chrome trace-event schema
+    this project emits.  Returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing required key '{key}'")
+        ph = ev.get("ph")
+        if ph is not None and ph not in _VALID_PH:
+            problems.append(f"{where}: invalid ph {ph!r}")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], str):
+                problems.append(f"{where}: {key} must be a string label")
+        if "ts" in ev and not isinstance(ev["ts"], (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: complete span missing numeric 'dur'")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant missing scope 's'")
+        if len(problems) >= 50:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems
+
+
+def load_chrome(path: str) -> Trace:
+    """Load an exported file back into a :class:`Trace` (timestamps in
+    nanoseconds relative to the file's own origin)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        obj = json.load(fh)
+    problems = validate_chrome(obj)
+    if problems:
+        raise ValueError(f"not a valid trace file: {problems[0]}")
+    records: List[TraceRecord] = []
+    for ev in obj["traceEvents"]:
+        if ev.get("ph") == "M":
+            continue
+        args = ev.get("args") or {}
+        records.append(
+            TraceRecord(
+                ph=ev["ph"],
+                pid=ev["pid"],
+                tid=ev["tid"],
+                name=ev["name"],
+                cat=ev.get("cat", ""),
+                ts_ns=int(round(ev["ts"] * 1000.0)),
+                dur_ns=int(round(ev.get("dur", 0) * 1000.0)),
+                args={
+                    k: tuple(v) if isinstance(v, list) and k in ("task", "source") else v
+                    for k, v in args.items()
+                },
+            )
+        )
+    dropped = 0
+    other = obj.get("otherData")
+    if isinstance(other, dict):
+        try:
+            dropped = int(other.get("dropped_events", 0))
+        except (TypeError, ValueError):
+            dropped = 0
+    return Trace(records, dropped)

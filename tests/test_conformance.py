@@ -242,3 +242,83 @@ def test_audit_clean_schedule(runtime):
             ex.close()
     problems = [d for d in result.diagnostics if d.severity > Severity.INFO]
     assert not problems, problems
+
+
+# ---------------------------------------------------------------------------
+# Trace conformance (tier: traceconf)
+# ---------------------------------------------------------------------------
+#
+# Every registered executor runs a small communication-bearing graph under
+# the span recorder; the merged trace must be well-formed — no negative
+# durations, spans properly nested per thread track, per-buffer timestamps
+# monotone after rank clock alignment, and exactly one kernel span per
+# task.  This is the wall-clock complement of the bytewise tier above:
+# same graphs, same executors, but checking *when* instead of *what*.
+
+@pytest.mark.traceconf
+@pytest.mark.parametrize("runtime", ALL_RUNTIMES)
+def test_trace_well_formed(runtime):
+    from repro.trace import recorder as trace
+    from repro.trace.conformance import check_trace
+
+    graphs = [_graph(DependenceType.STENCIL_1D, nbytes=256)]
+    ex = make_executor(runtime, workers=2)
+    try:
+        with trace.capture() as rec:
+            ex.run(graphs)
+            tr = rec.collect()
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+    assert tr.dropped == 0
+    problems = check_trace(tr, graphs)
+    assert not problems, problems
+
+
+@pytest.mark.traceconf
+@pytest.mark.parametrize("runtime", ["threads", "processes", "cluster_uds"])
+def test_trace_heterogeneous_well_formed(runtime):
+    """Multi-graph workloads trace cleanly across isolation levels: one
+    kernel span per task even when several graphs interleave on the same
+    worker tracks."""
+    from repro.trace import recorder as trace
+    from repro.trace.conformance import check_trace
+
+    graphs = HETEROGENEOUS["mixed_patterns"]()
+    ex = make_executor(runtime, workers=2)
+    try:
+        with trace.capture() as rec:
+            ex.run(graphs)
+            tr = rec.collect()
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+    assert not check_trace(tr, graphs), check_trace(tr, graphs)
+
+
+@pytest.mark.traceconf
+@pytest.mark.parametrize("runtime", ["threads", "shm_processes", "cluster_uds"])
+def test_trace_export_round_trip(runtime, tmp_path):
+    """The Chrome export of a real traced run is schema-valid and loads
+    back with every kernel span intact."""
+    import json
+
+    from repro.trace import recorder as trace
+    from repro.trace.export import load_chrome, validate_chrome, write_chrome
+
+    graphs = [_graph(DependenceType.STENCIL_1D, nbytes=256)]
+    ex = make_executor(runtime, workers=2)
+    try:
+        with trace.capture() as rec:
+            ex.run(graphs)
+            tr = rec.collect()
+    finally:
+        if hasattr(ex, "close"):
+            ex.close()
+    path = tmp_path / "trace.json"
+    write_chrome(tr, str(path))
+    with open(path, encoding="utf-8") as fh:
+        assert validate_chrome(json.load(fh)) == []
+    loaded = load_chrome(str(path))
+    assert len(loaded.kernel_spans()) == len(tr.kernel_spans())
+    assert len(tr.kernel_spans()) == sum(g.total_tasks() for g in graphs)
