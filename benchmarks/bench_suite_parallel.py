@@ -1,0 +1,143 @@
+"""Suite-scheduler A/B: serialized vs parallel cell execution.
+
+Runs the same 4-runtime x 3-pattern smoke suite twice through
+:func:`repro.suite.run_suite` — once with ``jobs=1`` (every cell
+serialized, the pre-scheduler behaviour) and once with ``jobs=4`` — into
+fresh stores, and records the wall-clock ratio.
+
+The four runtimes are same-address-space executors at ``workers=1`` so
+every cell costs exactly one core: on a >= 4-core host the scheduler's
+admission keeps four cells in flight and the suite finishes ~4x sooner;
+on smaller hosts the core budget itself serializes the cells and the
+ratio honestly degrades toward 1x (admission control working as designed,
+not a benchmark failure).  The >= 2x acceptance bound therefore only
+applies when the host has >= 4 cores.
+
+Calibration is pinned once, before either run, so neither side pays the
+kernel calibration inside its timed window and both sides measure
+efficiency against the same reference.
+
+Results land in ``benchmarks/results/suite_parallel.json`` (plus a
+rendered text summary) so EXPERIMENTS.md can cite the measured ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.core.kernels import FLOPS_PER_ITERATION
+from repro.metg.runners import PEAK_FLOPS_ENV, peak_flops_per_core
+from repro.suite import SuiteSpec, SuiteStore, run_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+RUNTIMES = ("serial", "threads", "futures", "asyncio")
+PATTERNS = ("trivial", "stencil_1d", "tree")
+WIDTH = 2
+STEPS = 3
+JOBS_AB = (1, 4)
+TARGET_CELL_SECONDS = 0.25
+
+
+def _smoke_spec(iterations: int) -> SuiteSpec:
+    return SuiteSpec(
+        name="parallel-ab",
+        runtimes=RUNTIMES,
+        patterns=PATTERNS,
+        widths=(WIDTH,),
+        steps=(STEPS,),
+        payload_bytes=(16,),
+        metrics=("run",),
+        workers=1,
+        iterations=iterations,
+    )
+
+
+def _timed_run(spec: SuiteSpec, jobs: int, core_budget: int) -> tuple:
+    """One suite run into a fresh store; returns (wall_seconds, summary)."""
+    with tempfile.TemporaryDirectory(prefix="taskbench-ab-") as root:
+        store = SuiteStore(root)
+        start = time.perf_counter()
+        summary = run_suite(spec, store, jobs=jobs, core_budget=core_budget)
+        wall = time.perf_counter() - start
+        assert summary.failed == 0, summary
+        assert summary.ran == summary.total
+    return wall, summary
+
+
+def test_suite_parallel_ab():
+    host_cores = os.cpu_count() or 1
+    previous = os.environ.get(PEAK_FLOPS_ENV)
+    rate = peak_flops_per_core()
+    os.environ[PEAK_FLOPS_ENV] = repr(rate)
+    try:
+        tasks = STEPS * WIDTH
+        iterations = max(
+            1, int(TARGET_CELL_SECONDS * rate / (FLOPS_PER_ITERATION * tasks))
+        )
+        spec = _smoke_spec(iterations)
+        cells = len(spec.cells())
+        # Give jobs=4 a four-core budget even on smaller hosts so the
+        # recorded ratio reflects the scheduler, with the host's real core
+        # count reported alongside for interpretation.
+        budget = max(4, host_cores)
+        walls = {}
+        for jobs in JOBS_AB:
+            walls[jobs], _ = _timed_run(spec, jobs, budget)
+    finally:
+        if previous is None:
+            os.environ.pop(PEAK_FLOPS_ENV, None)
+        else:
+            os.environ[PEAK_FLOPS_ENV] = previous
+
+    speedup = walls[1] / walls[4] if walls[4] > 0 else float("inf")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "scenario": {
+            "runtimes": list(RUNTIMES),
+            "patterns": list(PATTERNS),
+            "width": WIDTH,
+            "steps": STEPS,
+            "workers": 1,
+            "kernel": "compute_bound",
+            "iterations_per_task": iterations,
+            "cells": cells,
+            "target_cell_seconds": TARGET_CELL_SECONDS,
+            "core_budget": max(4, host_cores),
+            "host_cores": host_cores,
+        },
+        "wall_seconds": {
+            "jobs_1": walls[1],
+            "jobs_4": walls[4],
+        },
+        "speedup": speedup,
+        "speedup_bound_applies": host_cores >= 4,
+    }
+    (RESULTS_DIR / "suite_parallel.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"suite parallel A/B: {cells} cells "
+        f"({len(RUNTIMES)} runtimes x {len(PATTERNS)} patterns), "
+        f"~{TARGET_CELL_SECONDS:.2f}s/cell, host cores {host_cores}",
+        f"  jobs=1  {walls[1]:7.2f}s",
+        f"  jobs=4  {walls[4]:7.2f}s",
+        f"  speedup {speedup:6.2f}x"
+        + ("" if host_cores >= 4 else "  (host < 4 cores: bound not applied)"),
+    ]
+    (RESULTS_DIR / "suite_parallel.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # Acceptance: on a multi-core host, four concurrent one-core cells
+    # must finish the smoke suite at least twice as fast as serialized
+    # execution.  Smaller hosts record the measurement without the bound —
+    # there the core budget itself (correctly) serializes the cells.
+    if host_cores >= 4:
+        assert speedup >= 2.0, payload

@@ -429,6 +429,52 @@ def figure12(cfg: FigureConfig = FigureConfig()) -> FigureData:
 
 
 # ---------------------------------------------------------------------------
+# Suite aggregates -> figures
+# ---------------------------------------------------------------------------
+def suite_series(
+    rows: Sequence[Dict],
+    *,
+    x: str = "width",
+    y: str = "metg_seconds",
+    series_by: str = "runtime",
+    figure_id: str = "suite",
+    title: str = "",
+) -> FigureData:
+    """Plot a suite aggregate (``repro.suite`` rows or a loaded CSV).
+
+    Groups the rows by ``series_by`` (one line per runtime, by default)
+    with ``x`` on the abscissa and measurement ``y`` on the ordinate,
+    producing the same :class:`FigureData` shape as the paper figures so
+    the existing rendering/plot tooling applies unchanged.  Rows without
+    the requested measurement (failed or unachievable cells, or cells of
+    another metric) are skipped, mirroring how the paper omits systems
+    that cannot reach the target efficiency (§5.3).
+    """
+    groups: Dict[str, List] = {}
+    for row in rows:
+        label = row.get(series_by)
+        xv, yv = row.get(x), row.get(y)
+        if label is None or xv is None or yv is None:
+            continue
+        groups.setdefault(str(label), []).append((float(xv), float(yv)))
+    series = [
+        Series(
+            label=label,
+            x=[p[0] for p in sorted(points)],
+            y=[p[1] for p in sorted(points)],
+        )
+        for label, points in sorted(groups.items())
+    ]
+    return FigureData(
+        figure_id=figure_id,
+        title=title or f"{y} vs {x} (suite aggregate)",
+        xlabel=x,
+        ylabel=y,
+        series=series,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Figure 13: GPU offload
 # ---------------------------------------------------------------------------
 def figure13() -> FigureData:

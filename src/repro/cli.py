@@ -241,6 +241,142 @@ def run_check(args: List[str]) -> int:
     return 1 if bad else 0
 
 
+def run_suite_cmd(args: List[str]) -> int:
+    """``task-bench suite SPEC``: run a declarative benchmark suite.
+
+    Cells run in parallel worker processes up to ``--jobs``, under the
+    scheduler's core-budget and isolation admission rules; each finished
+    cell is checkpointed so ``--resume`` completes only the remainder of
+    a killed suite.  Exit codes: 0 all cells terminal, 1 failed cells,
+    2 usage error.
+    """
+    from .suite import (
+        SpecError,
+        StoreError,
+        SuiteStore,
+        aggregate_rows,
+        load_spec,
+        render_csv,
+        render_table,
+        run_suite,
+    )
+
+    jobs = 1
+    out_dir: str | None = None
+    cores: int | None = None
+    csv_path: str | None = None
+    resume = False
+    report = False
+    quiet = False
+    positional: List[str] = []
+    pos = 0
+    while pos < len(args):
+        flag = args[pos]
+        pos += 1
+
+        def value(name: str = flag) -> str | None:
+            nonlocal pos
+            if pos >= len(args):
+                print(f"error: {name} is missing its value", file=sys.stderr)
+                return None
+            v = args[pos]
+            pos += 1
+            return v
+
+        if flag in ("--jobs", "-jobs", "-j"):
+            v = value()
+            if v is None:
+                return 2
+            try:
+                jobs = int(v)
+            except ValueError:
+                print(f"error: --jobs expects an integer, got {v!r}",
+                      file=sys.stderr)
+                return 2
+            if jobs < 1:
+                print(f"error: --jobs must be >= 1, got {jobs}",
+                      file=sys.stderr)
+                return 2
+        elif flag in ("--cores", "-cores"):
+            v = value()
+            if v is None:
+                return 2
+            try:
+                cores = int(v)
+            except ValueError:
+                print(f"error: --cores expects an integer, got {v!r}",
+                      file=sys.stderr)
+                return 2
+            if cores < 1:
+                print(f"error: --cores must be >= 1, got {cores}",
+                      file=sys.stderr)
+                return 2
+        elif flag in ("--out", "-out", "-o"):
+            v = value()
+            if v is None:
+                return 2
+            out_dir = v
+        elif flag in ("--csv", "-csv"):
+            v = value()
+            if v is None:
+                return 2
+            csv_path = v
+        elif flag in ("--resume", "-resume"):
+            resume = True
+        elif flag in ("--report", "-report"):
+            report = True
+        elif flag in ("--quiet", "-quiet", "-q"):
+            quiet = True
+        elif flag.startswith("-"):
+            print(f"error: unknown suite flag {flag!r}", file=sys.stderr)
+            return 2
+        else:
+            positional.append(flag)
+    if len(positional) != 1:
+        print("error: suite expects exactly one spec file", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(positional[0])
+    except SpecError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    store = SuiteStore(out_dir or f"taskbench-suite-{spec.name}")
+    if not resume:
+        try:
+            store.ensure(spec)
+        except StoreError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        stale = store.completed()
+        if stale:
+            print(
+                f"error: {store.root} already holds {len(stale)} completed "
+                "cell(s); pass --resume to finish the remainder or use a "
+                "fresh --out directory",
+                file=sys.stderr,
+            )
+            return 2
+    echo = (lambda line: None) if quiet else print
+    try:
+        summary = run_suite(
+            spec, store, jobs=jobs, core_budget=cores, resume=resume,
+            echo=echo,
+        )
+    except (SpecError, StoreError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    for line in summary.report_lines():
+        print(line)
+    rows = aggregate_rows(store.records())
+    if csv_path is not None:
+        with open(csv_path, "w") as fh:
+            fh.write(render_csv(rows))
+        print(f"Suite CSV {csv_path}")
+    if report:
+        print(render_table(rows))
+    return 0 if summary.failed == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args: List[str] = list(sys.argv[1:] if argv is None else argv)
@@ -255,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_check(args[1:])
     if args and args[0] == "trace":
         return run_trace(args[1:])
+    if args and args[0] == "suite":
+        return run_suite_cmd(args[1:])
     # --audit: run normally but record the schedule and audit it afterwards.
     audit_enabled = False
     for flag in ("--audit", "-audit"):
@@ -395,6 +533,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(render_report(bad))
             return 1
         return 0
+    from .metg import METGUnachievable
     from .runtimes import WorkerCrashError, WorkerTimeoutError
 
     try:
@@ -408,6 +547,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    except METGUnachievable as e:
+        # The target efficiency is out of reach at any granularity on this
+        # configuration — a legitimate finding (paper §5.3 omits such
+        # combinations), not a crash.
+        print(f"METG unachievable: {e}", file=sys.stderr)
+        return 1
     except (WorkerCrashError, WorkerTimeoutError) as e:
         # Exhausted retries on a worker/rank failure: a detected fault, not
         # a hang — report it and fail cleanly.
@@ -554,6 +699,17 @@ subcommands:
   trace FILE         summarize a Chrome trace file written by --trace
                      (per-track record and kernel-span counts)
   trace FILE --gantt render the trace as an ASCII Gantt chart instead
+  suite SPEC [--jobs N] [--out DIR] [--resume] [--report] [--csv PATH]
+             [--cores N] [--quiet]
+                     run a declarative benchmark suite (a runtimes x
+                     patterns x widths x steps x payloads x metrics
+                     cross-product from a .json/.toml spec): cells run in
+                     parallel worker processes up to --jobs under a core
+                     budget (--cores, default: host cores), each finished
+                     cell is checkpointed into DIR, and --resume finishes
+                     only the cells a killed run left behind.  --report
+                     prints the aggregate table; --csv writes it as CSV.
+                     exit codes: 0 complete, 1 failed cells, 2 usage error
 """
 
 

@@ -15,7 +15,12 @@ from .efficiency import (
     memory_workload,
 )
 from .metg import METGResult, METGUnachievable, metg
-from .runners import RealRunner, SimRunner, calibrate_kernel_flops
+from .runners import (
+    RealRunner,
+    SimRunner,
+    calibrate_kernel_flops,
+    peak_flops_per_core,
+)
 from .scaling import (
     ScalingPoint,
     strong_scaling,
@@ -37,6 +42,7 @@ __all__ = [
     "measure",
     "memory_workload",
     "metg",
+    "peak_flops_per_core",
     "strong_scaling",
     "strong_scaling_limit_nodes",
     "weak_scaling",

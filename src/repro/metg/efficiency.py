@@ -152,7 +152,6 @@ def measure(runner, factory: GraphFactory, iterations: int,
     whole sweep.  Retries that occurred are recorded in the measurement's
     ``result.faults.probe_retries``.
     """
-    graphs = factory(iterations)
     budget = (
         max_retries
         if max_retries is not None
@@ -160,6 +159,10 @@ def measure(runner, factory: GraphFactory, iterations: int,
     )
     attempt = 0
     while True:
+        # Fresh graphs on every attempt: a partially-executed run may have
+        # mutated graph or validation state (worker-side caches key on the
+        # graph object), and a retry must observe none of it.
+        graphs = factory(iterations)
         try:
             result = runner.run(graphs)
             break

@@ -82,22 +82,39 @@ def metg(
     lo: Measurement | None = None
     n = max(1, start_iterations)
     hi = probe(n)
-    while hi.efficiency < target_efficiency:
-        lo = hi
-        if n >= max_iterations:
-            # Report the best efficiency seen anywhere in the sweep, not
-            # the last probe's: real efficiency curves are noisy and
-            # non-monotone, so the final measurement can sit well below
-            # the true peak.
-            peak = max(history, key=lambda m: m.efficiency)
-            raise METGUnachievable(
-                f"{runner.name}: efficiency peaked at {peak.efficiency:.3f} "
-                f"at {peak.iterations} iterations/task (target "
-                f"{target_efficiency}, {len(history)} probes up to "
-                f"{n} iterations/task)"
-            )
-        n = min(n * 8, max_iterations)
-        hi = probe(n)
+    if hi.efficiency >= target_efficiency:
+        # The very first probe already meets the target: the crossing is
+        # *below* the caller's starting guess.  Without a downward search
+        # the reported METG would be an artifact of ``start_iterations``
+        # (whatever granularity the caller happened to start at), so
+        # geometrically shrink the problem until a probe falls below the
+        # target and becomes the lower bracket.  If even one iteration per
+        # task meets the target, the crossing is unobservable and the
+        # smallest measurable granularity is the honest answer (lo=None).
+        while hi.iterations > 1:
+            m = probe(max(1, hi.iterations // 8))
+            if m.efficiency >= target_efficiency:
+                hi = m
+            else:
+                lo = m
+                break
+    else:
+        while hi.efficiency < target_efficiency:
+            lo = hi
+            if n >= max_iterations:
+                # Report the best efficiency seen anywhere in the sweep,
+                # not the last probe's: real efficiency curves are noisy
+                # and non-monotone, so the final measurement can sit well
+                # below the true peak.
+                peak = max(history, key=lambda m: m.efficiency)
+                raise METGUnachievable(
+                    f"{runner.name}: efficiency peaked at {peak.efficiency:.3f} "
+                    f"at {peak.iterations} iterations/task (target "
+                    f"{target_efficiency}, {len(history)} probes up to "
+                    f"{n} iterations/task)"
+                )
+            n = min(n * 8, max_iterations)
+            hi = probe(n)
 
     # Phase 2: bisect the bracket in log space.
     if lo is not None:
@@ -126,8 +143,10 @@ def _interpolate_crossing(
     """Granularity at the exact efficiency crossing.
 
     Linear interpolation of log-granularity against efficiency between the
-    two bracketing measurements; if the very first probe already met the
-    target (no lower bracket), its granularity is the answer.
+    two bracketing measurements.  ``lo`` is ``None`` only when the target
+    was still met at one iteration per task — the crossing sits below the
+    smallest measurable problem size, so the granularity of that smallest
+    probe is the honest (upper-bound) answer.
     """
     if lo is None or hi.efficiency == lo.efficiency:
         return hi.granularity_seconds

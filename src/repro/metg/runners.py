@@ -7,6 +7,7 @@ substrate is underneath.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Sequence
 
@@ -110,8 +111,17 @@ class RealRunner:
 
     @property
     def peak_flops(self) -> float:
+        """Empirical 100 %-efficiency reference for this executor.
+
+        The per-core kernel rate comes from the process-wide cache (see
+        :func:`peak_flops_per_core`) so every runner of a sweep — and every
+        cell of a suite — shares one calibration instead of each measuring
+        its own noisy reference, which would make efficiencies (and hence
+        METG) incomparable across cells.  Tests may pin the reference by
+        setting ``_peak_per_core`` directly.
+        """
         if self._peak_per_core is None:
-            self._peak_per_core = calibrate_kernel_flops()
+            self._peak_per_core = peak_flops_per_core()
         return self._peak_per_core * self.executor.cores
 
     def run(self, graphs: Sequence[TaskGraph]) -> RunResult:
@@ -137,3 +147,39 @@ def calibrate_kernel_flops(iterations: int = 20_000, repeats: int = 3) -> float:
         elapsed = time.perf_counter() - start
         best = max(best, iterations * FLOPS_PER_ITERATION / elapsed)
     return best
+
+
+#: Process-wide calibration cache (``None`` = not yet calibrated).
+_PEAK_PER_CORE: float | None = None
+
+#: Environment override: pin the per-core peak FLOP/s reference instead of
+#: calibrating.  Set by the suite scheduler so every cell of a sweep — even
+#: ones running in child processes — shares one calibration and their
+#: efficiencies are directly comparable.
+PEAK_FLOPS_ENV = "TASKBENCH_PEAK_FLOPS"
+
+
+def peak_flops_per_core(*, recalibrate: bool = False) -> float:
+    """Per-core peak FLOP/s reference, calibrated at most once per process.
+
+    Resolution order: the :data:`PEAK_FLOPS_ENV` environment variable if
+    set (must be a positive number), else the cached calibration, else one
+    fresh :func:`calibrate_kernel_flops` whose result is cached for the
+    life of the process.  ``recalibrate=True`` forces a fresh measurement
+    (and refreshes the cache) unless the environment override is set.
+    """
+    global _PEAK_PER_CORE
+    env = os.environ.get(PEAK_FLOPS_ENV)
+    if env is not None:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{PEAK_FLOPS_ENV} must be a number, got {env!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"{PEAK_FLOPS_ENV} must be > 0, got {value}")
+        return value
+    if _PEAK_PER_CORE is None or recalibrate:
+        _PEAK_PER_CORE = calibrate_kernel_flops()
+    return _PEAK_PER_CORE

@@ -22,7 +22,13 @@ from .futures_rt import FuturesExecutor
 from .p2p import Mailbox, P2PExecutor, block_owner
 from .processes import ProcessPoolExecutor
 from .ptg import ExpandedGraph, PTGExecutor, expand
-from .registry import available_runtimes, describe_runtimes, make_executor
+from .registry import (
+    available_runtimes,
+    describe_runtimes,
+    make_executor,
+    runtime_core_cost,
+    runtime_isolation,
+)
 from .serial import SerialExecutor
 from .threads import ThreadPoolTaskExecutor
 from ._common import OutputStore, ScratchPool
@@ -55,4 +61,6 @@ __all__ = [
     "describe_runtimes",
     "expand",
     "make_executor",
+    "runtime_core_cost",
+    "runtime_isolation",
 ]

@@ -89,6 +89,27 @@ def runtime_isolation(name: str) -> str:
         ) from None
 
 
+def runtime_core_cost(name: str, workers: int) -> int:
+    """Host cores a run of this executor effectively occupies.
+
+    The suite scheduler's admission currency: concurrent cells are admitted
+    while their summed costs fit the host's core budget, so two process
+    pools never oversubscribe the machine and corrupt each other's
+    timings.  ``serial`` costs one core regardless of ``workers``; the
+    process/thread substrates cost one core per worker; the cluster
+    substrates cost one extra core for the supervising launcher that polls
+    the rank mesh.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    isolation = runtime_isolation(name)
+    if isolation == "serial":
+        return 1
+    if isolation == "cluster":
+        return workers + 1
+    return workers
+
+
 def describe_runtimes() -> List[Tuple[str, str]]:
     """``(name, isolation)`` for every registered executor, sorted by name
     (the backing data of ``task-bench --list-runtimes``)."""

@@ -1,0 +1,40 @@
+"""Suite orchestration: parallel, resumable benchmark-sweep harness.
+
+The paper's evaluation is a cross-product — systems × patterns × node
+counts × granularities (Figures 3-9) — and this package is the layer that
+runs such cross-products as one job: a declarative :class:`SuiteSpec`
+(:mod:`repro.suite.spec`), a resource-aware parallel scheduler
+(:mod:`repro.suite.scheduler`), and a checkpointing result store
+(:mod:`repro.suite.store`) that makes a killed sweep resumable.
+
+Surfaced on the command line as ``task-bench suite SPEC [--jobs N]
+[--resume] [--report]``.
+"""
+
+from .scheduler import SuiteSummary, run_cell, run_suite
+from .spec import Cell, SpecError, SuiteSpec, load_spec, spec_from_mapping
+from .store import (
+    StoreError,
+    SuiteStore,
+    aggregate_rows,
+    load_rows,
+    render_csv,
+    render_table,
+)
+
+__all__ = [
+    "Cell",
+    "SpecError",
+    "StoreError",
+    "SuiteSpec",
+    "SuiteStore",
+    "SuiteSummary",
+    "aggregate_rows",
+    "load_rows",
+    "load_spec",
+    "render_csv",
+    "render_table",
+    "run_cell",
+    "run_suite",
+    "spec_from_mapping",
+]

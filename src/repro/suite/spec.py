@@ -1,0 +1,385 @@
+"""Declarative benchmark-suite specifications.
+
+The paper's results are cross-products — systems × dependence patterns ×
+node counts × task granularities (Figures 3-9) — and the sweep harness that
+enumerates them is a product in its own right (cf. TaPS).  A
+:class:`SuiteSpec` names the axes of one such cross-product::
+
+    runtimes × patterns × widths × steps × payload sizes × metrics
+
+plus the shared per-cell configuration (worker count, kernel, METG target,
+…) and *exclusion rules* that cut cells the paper itself omits (§5.3:
+"Spark, Swift/T and TensorFlow are omitted ... as the overheads of these
+systems require excessive problem sizes").
+
+Specs load from JSON or TOML files (:func:`load_spec`) and expand to a
+deterministic, key-sorted list of :class:`Cell`\\ s.  A cell's ``key`` is
+its durable identity: the checkpoint store names records by it, and a
+resumed suite re-runs exactly the keys that have no completed record.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field, fields
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, List, Mapping, Tuple
+
+from ..core.kernels import Kernel
+from ..core.task_graph import TaskGraph
+from ..core.types import DependenceType, KernelType
+from ..runtimes.registry import available_runtimes
+from ..sim.systems import all_systems
+
+SPEC_SCHEMA_VERSION = 1
+
+#: What a cell measures: a single timed run at the spec's iteration count
+#: (``run``) or a full METG(target) problem-size sweep (``metg``).
+METRICS = ("run", "metg")
+
+#: Axes a cell exclusion rule may constrain (cell attribute names).
+EXCLUDABLE_AXES = ("runtime", "pattern", "width", "steps", "payload_bytes",
+                   "metric")
+
+
+class SpecError(ValueError):
+    """Raised for malformed or inconsistent suite specifications."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the suite's cross-product: a single measurement job.
+
+    Carries both the axis values that distinguish it and the spec-level
+    configuration shared by every cell, so a cell is self-contained — the
+    scheduler ships it to a child process as a plain dict.
+    """
+
+    runtime: str
+    pattern: str
+    width: int
+    steps: int
+    payload_bytes: int
+    metric: str
+    workers: int = 2
+    kernel: str = "compute_bound"
+    iterations: int = 1024
+    target: float = 0.5
+    max_iterations: int = 1 << 22
+    nodes: int = 1
+    cores_per_node: int = 0
+    timeout: float | None = None
+
+    @property
+    def key(self) -> str:
+        """Durable identity of this cell: the checkpoint record's name.
+
+        Built only from axis values (the shared configuration is recorded
+        in the store's spec copy), filesystem-safe, and stable across runs.
+        """
+        runtime = self.runtime.replace(":", ".")
+        return (
+            f"{self.metric}-{runtime}-{self.pattern}"
+            f"-w{self.width}-s{self.steps}-p{self.payload_bytes}"
+        )
+
+    @property
+    def is_simulated(self) -> bool:
+        return self.runtime.startswith("sim:")
+
+    def params(self) -> dict:
+        """Plain-dict form (what the scheduler sends to a cell worker)."""
+        return asdict(self)
+
+    def graphs(self) -> List[TaskGraph]:
+        """The cell's task graphs at the spec's iteration count."""
+        return self.graphs_at(self.iterations)
+
+    def graphs_at(self, iterations: int) -> List[TaskGraph]:
+        """The cell's task graphs with the kernel at ``iterations``.
+
+        Construction is memoized process-wide on the cell's graph-shaping
+        parameters: the dependence relation (the expensive derived state)
+        is computed once per shape and shared by every probe of a sweep.
+        Each call still returns *fresh* graph objects — executors and
+        retries key worker-side caches on graph identity, and a re-used
+        object must never leak one attempt's state into the next.
+        """
+        template = _graph_template(
+            self.pattern, self.width, self.steps, self.payload_bytes,
+            self.kernel, iterations,
+        )
+        return [copy.copy(template)]
+
+
+@lru_cache(maxsize=4096)
+def _graph_template(pattern: str, width: int, steps: int,
+                    payload_bytes: int, kernel: str,
+                    iterations: int) -> TaskGraph:
+    graph = TaskGraph(
+        timesteps=steps,
+        max_width=width,
+        dependence=DependenceType.parse(pattern),
+        kernel=Kernel(
+            kernel_type=KernelType.parse(kernel), iterations=iterations
+        ),
+        output_bytes_per_task=payload_bytes,
+    )
+    graph.spec  # materialize the dependence relation into the template
+    return graph
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A full suite: axes, shared cell configuration, exclusion rules."""
+
+    name: str
+    runtimes: Tuple[str, ...]
+    patterns: Tuple[str, ...]
+    widths: Tuple[int, ...] = (4,)
+    steps: Tuple[int, ...] = (10,)
+    payload_bytes: Tuple[int, ...] = (16,)
+    metrics: Tuple[str, ...] = ("run",)
+    workers: int = 2
+    kernel: str = "compute_bound"
+    iterations: int = 1024
+    target: float = 0.5
+    max_iterations: int = 1 << 22
+    nodes: int = 1
+    cores_per_node: int = 0
+    timeout: float | None = None
+    #: Hard wall-clock deadline per cell; the scheduler kills and fails a
+    #: cell that exceeds it (None = no deadline).
+    cell_timeout: float | None = None
+    #: Exclusion rules: a cell matching *every* axis constraint of *any*
+    #: rule is dropped from the suite.  Each rule maps an axis name to one
+    #: value or a list of values.
+    exclude: Tuple[Mapping[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise SpecError(f"suite name must be a non-empty slug, got {self.name!r}")
+        if not self.runtimes:
+            raise SpecError("a suite needs at least one runtime")
+        if not self.patterns:
+            raise SpecError("a suite needs at least one dependence pattern")
+        known = set(available_runtimes())
+        systems = set(all_systems())
+        for rt in self.runtimes:
+            if rt.startswith("sim:"):
+                if rt[len("sim:"):] not in systems:
+                    raise SpecError(
+                        f"unknown simulated system {rt!r}; available: "
+                        f"{', '.join('sim:' + s for s in sorted(systems))}"
+                    )
+            elif rt not in known:
+                raise SpecError(
+                    f"unknown runtime {rt!r}; available: {', '.join(sorted(known))}"
+                )
+        for pattern in self.patterns:
+            try:
+                DependenceType.parse(pattern)
+            except ValueError as e:
+                raise SpecError(str(e)) from None
+        try:
+            KernelType.parse(self.kernel)
+        except ValueError as e:
+            raise SpecError(str(e)) from None
+        for metric in self.metrics:
+            if metric not in METRICS:
+                raise SpecError(
+                    f"unknown metric {metric!r}; expected one of {METRICS}"
+                )
+        for attr in ("widths", "steps", "payload_bytes"):
+            values = getattr(self, attr)
+            if not values:
+                raise SpecError(f"axis {attr!r} must not be empty")
+            if any((not isinstance(v, int)) or isinstance(v, bool) or v < 0
+                   for v in values):
+                raise SpecError(f"axis {attr!r} must hold non-negative integers")
+        if any(v < 1 for v in self.widths) or any(v < 1 for v in self.steps):
+            raise SpecError("widths and steps must be >= 1")
+        if self.workers < 1:
+            raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.iterations < 0:
+            raise SpecError(f"iterations must be >= 0, got {self.iterations}")
+        if not 0.0 < self.target < 1.0:
+            raise SpecError(f"target must be in (0, 1), got {self.target}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecError(f"timeout must be > 0, got {self.timeout}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise SpecError(f"cell_timeout must be > 0, got {self.cell_timeout}")
+        for rule in self.exclude:
+            if not rule:
+                raise SpecError("an exclusion rule must constrain an axis")
+            for axis in rule:
+                if axis not in EXCLUDABLE_AXES:
+                    raise SpecError(
+                        f"exclusion rule axis {axis!r} unknown; expected one "
+                        f"of {EXCLUDABLE_AXES}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def cells(self) -> List[Cell]:
+        """The suite's cells: full cross-product minus exclusions, sorted
+        by key (the deterministic scheduling and reporting order)."""
+        out = []
+        for metric, rt, pattern, width, steps, payload in itertools.product(
+            self.metrics, self.runtimes, self.patterns, self.widths,
+            self.steps, self.payload_bytes,
+        ):
+            cell = Cell(
+                runtime=rt,
+                pattern=pattern,
+                width=width,
+                steps=steps,
+                payload_bytes=payload,
+                metric=metric,
+                workers=self.workers,
+                kernel=self.kernel,
+                iterations=self.iterations,
+                target=self.target,
+                max_iterations=self.max_iterations,
+                nodes=self.nodes,
+                cores_per_node=self.cores_per_node,
+                timeout=self.timeout,
+            )
+            if not self._excluded(cell):
+                out.append(cell)
+        out.sort(key=lambda c: c.key)
+        if not out:
+            raise SpecError("the exclusion rules removed every cell")
+        keys = [c.key for c in out]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise SpecError(f"duplicate cells in the cross-product: {dupes}")
+        return out
+
+    def _excluded(self, cell: Cell) -> bool:
+        for rule in self.exclude:
+            if all(_matches(getattr(cell, axis), wanted)
+                   for axis, wanted in rule.items()):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> dict:
+        """Canonical JSON-ready form (tuples as lists, sorted rules)."""
+        data = asdict(self)
+        data["schema_version"] = SPEC_SCHEMA_VERSION
+        for key, value in data.items():
+            if isinstance(value, tuple):
+                data[key] = list(value)
+        data["exclude"] = [dict(sorted(r.items())) for r in self.exclude]
+        return data
+
+    def fingerprint(self) -> str:
+        """Stable digest of the canonical form; the checkpoint store uses
+        it to refuse resuming a store built from a different spec."""
+        canonical = json.dumps(self.to_mapping(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _matches(value: Any, wanted: Any) -> bool:
+    if isinstance(wanted, (list, tuple)):
+        return value in wanted
+    return value == wanted
+
+
+#: Spec fields that arrive as lists (normalized from scalars on load).
+_AXIS_FIELDS = ("runtimes", "patterns", "widths", "steps", "payload_bytes",
+                "metrics")
+
+
+def spec_from_mapping(data: Mapping[str, Any], *,
+                      default_name: str = "suite") -> SuiteSpec:
+    """Build a :class:`SuiteSpec` from a parsed JSON/TOML mapping.
+
+    Unknown keys are rejected (a typoed axis silently shrinking a sweep is
+    exactly the failure mode a declarative spec exists to prevent); scalar
+    axis values are promoted to single-element axes.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(f"a suite spec must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(SuiteSpec)}
+    payload: dict = {}
+    for key, value in data.items():
+        if key == "schema_version":
+            if value != SPEC_SCHEMA_VERSION:
+                raise SpecError(
+                    f"unsupported spec schema_version {value!r} "
+                    f"(this build reads {SPEC_SCHEMA_VERSION})"
+                )
+            continue
+        if key not in known:
+            raise SpecError(
+                f"unknown spec key {key!r}; known keys: "
+                f"{', '.join(sorted(known))}"
+            )
+        if key in _AXIS_FIELDS:
+            if isinstance(value, (str, int)) and not isinstance(value, bool):
+                value = [value]
+            if not isinstance(value, (list, tuple)):
+                raise SpecError(f"spec key {key!r} must be a value or a list")
+            payload[key] = tuple(value)
+        elif key == "exclude":
+            if not isinstance(value, (list, tuple)):
+                raise SpecError("spec key 'exclude' must be a list of rules")
+            payload[key] = tuple(dict(rule) for rule in value)
+        else:
+            payload[key] = value
+    payload.setdefault("name", default_name)
+    try:
+        return SuiteSpec(**payload)
+    except TypeError as e:
+        raise SpecError(str(e)) from None
+
+
+def load_spec(path: str | Path) -> SuiteSpec:
+    """Load a suite spec from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as e:
+        raise SpecError(f"cannot read spec {path}: {e}") from None
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10
+            raise SpecError(
+                "TOML specs need Python 3.11+ (tomllib); use JSON instead"
+            ) from None
+        try:
+            data = tomllib.loads(raw.decode())
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as e:
+            raise SpecError(f"{path}: {e}") from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(raw)
+        except ValueError as e:
+            raise SpecError(f"{path}: {e}") from None
+    else:
+        raise SpecError(
+            f"spec {path} must be a .json or .toml file"
+        )
+    return spec_from_mapping(data, default_name=path.stem)
+
+
+__all__ = [
+    "Cell",
+    "EXCLUDABLE_AXES",
+    "METRICS",
+    "SPEC_SCHEMA_VERSION",
+    "SpecError",
+    "SuiteSpec",
+    "load_spec",
+    "spec_from_mapping",
+]

@@ -1,0 +1,236 @@
+"""Checkpointing result store: one atomic JSON record per completed cell.
+
+The store is what makes a suite *resumable*: every finished cell is
+durably recorded before the scheduler moves on, each record is written
+with a write-temp-then-rename so a ``kill -9`` can never leave a
+half-written record behind, and a rerun consults :meth:`SuiteStore.completed`
+to run only the remainder.
+
+Aggregation is a pure function of the record set — rendering the same
+store twice yields byte-identical output, which is how a killed-and-resumed
+suite is verified against an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .spec import SuiteSpec, spec_from_mapping
+
+RECORD_SCHEMA_VERSION = 1
+
+#: Terminal statuses: the cell ran to a durable conclusion and a resume
+#: must not repeat it.  ``unachievable`` is a legitimate result — the paper
+#: omits such system/pattern combinations from its figures (§5.3) — while
+#: ``failed`` cells are retried by the next resume.
+TERMINAL_STATUSES = ("ok", "unachievable")
+
+#: Measurement columns of the aggregate, in render order.
+VALUE_COLUMNS = (
+    "metg_seconds",
+    "efficiency",
+    "granularity_seconds",
+    "flops_per_second",
+    "probes",
+)
+
+#: Cell-identity columns of the aggregate, in render order.
+CELL_COLUMNS = ("key", "metric", "runtime", "pattern", "width", "steps",
+                "payload_bytes", "status")
+
+
+class StoreError(RuntimeError):
+    """Raised for store-level inconsistencies (e.g. spec mismatch)."""
+
+
+class SuiteStore:
+    """Directory-backed store: ``<root>/spec.json`` + ``<root>/cells/*.json``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def ensure(self, spec: SuiteSpec) -> None:
+        """Create the store layout (idempotent) and bind it to ``spec``.
+
+        A store holds results of exactly one spec: resuming with a spec
+        whose fingerprint differs from the recorded one raises
+        :class:`StoreError` instead of silently mixing sweeps.
+        """
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        spec_path = self.root / "spec.json"
+        if spec_path.exists():
+            try:
+                recorded = spec_from_mapping(json.loads(spec_path.read_text()))
+            except ValueError as e:
+                raise StoreError(f"{spec_path} is unreadable: {e}") from None
+            if recorded.fingerprint() != spec.fingerprint():
+                raise StoreError(
+                    f"store {self.root} was built from spec "
+                    f"{recorded.name!r} ({recorded.fingerprint()}); refusing "
+                    f"to mix in spec {spec.name!r} ({spec.fingerprint()}) — "
+                    "use a fresh --out directory"
+                )
+            return
+        _atomic_write_json(spec_path, spec.to_mapping())
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def cell_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    def write(self, record: Mapping[str, Any]) -> Path:
+        """Durably record one finished cell (atomic rename)."""
+        key = record.get("key")
+        if not key or not isinstance(key, str):
+            raise StoreError(f"record has no cell key: {record!r}")
+        record = {"schema_version": RECORD_SCHEMA_VERSION, **record}
+        path = self.cell_path(key)
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, record)
+        return path
+
+    def read(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record for ``key``, or None if absent or unreadable (a
+        half-written leftover temp never shadows a real record)."""
+        try:
+            return json.loads(self.cell_path(key).read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return None
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All readable records, sorted by cell key (deterministic)."""
+        if not self.cells_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.cells_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict) and record.get("key"):
+                out.append(record)
+        out.sort(key=lambda r: r["key"])
+        return out
+
+    def completed(self) -> set:
+        """Keys whose cells reached a terminal status (skipped on resume)."""
+        return {
+            r["key"] for r in self.records()
+            if r.get("status") in TERMINAL_STATUSES
+        }
+
+
+def _atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON so readers observe either nothing or the whole record."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation: records -> rows -> table / CSV
+# ---------------------------------------------------------------------------
+def aggregate_rows(records: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten records into deterministic aggregate rows.
+
+    One row per record, ordered by cell key, with a fixed column set
+    (:data:`CELL_COLUMNS` + :data:`VALUE_COLUMNS`); measurements a cell did
+    not produce are ``None``.  Rows are plain scalars, ready for CSV, for
+    the text table, and for :func:`repro.analysis.figures.suite_series`.
+    """
+    rows = []
+    for record in sorted(records, key=lambda r: r.get("key", "")):
+        cell = record.get("cell", {})
+        measurements = record.get("measurements", {})
+        row: Dict[str, Any] = {"key": record.get("key")}
+        for column in CELL_COLUMNS[1:-1]:
+            row[column] = cell.get(column)
+        row["status"] = record.get("status")
+        for column in VALUE_COLUMNS:
+            row[column] = measurements.get(column)
+        rows.append(row)
+    return rows
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6e}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Fixed-width aggregate table (deterministic for a given row set)."""
+    columns = list(CELL_COLUMNS[1:]) + list(VALUE_COLUMNS)
+    cells = [[_format_value(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in cells)) if cells
+        else len(column)
+        for i, column in enumerate(columns)
+    ]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths)).rstrip()]
+    for line in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Aggregate CSV (deterministic for a given row set)."""
+    columns = list(CELL_COLUMNS) + list(VALUE_COLUMNS)
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(
+            "" if row.get(c) is None else _format_value(row.get(c))
+            for c in columns
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def load_rows(path: str | Path) -> List[Dict[str, Any]]:
+    """Read an aggregate CSV back into rows (numeric columns coerced), so
+    downstream plotting does not need the original store."""
+    import csv
+
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        rows = []
+        for entry in reader:
+            row: Dict[str, Any] = {}
+            for column, text in entry.items():
+                if text == "" or text is None:
+                    row[column] = None
+                elif column in ("width", "steps", "payload_bytes", "probes"):
+                    row[column] = int(float(text))
+                elif column in VALUE_COLUMNS:
+                    row[column] = float(text)
+                else:
+                    row[column] = text
+            rows.append(row)
+    return rows
+
+
+__all__ = [
+    "CELL_COLUMNS",
+    "RECORD_SCHEMA_VERSION",
+    "StoreError",
+    "SuiteStore",
+    "TERMINAL_STATUSES",
+    "VALUE_COLUMNS",
+    "aggregate_rows",
+    "load_rows",
+    "render_csv",
+    "render_table",
+]

@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro.core.metrics import RunResult
+from repro.runtimes import WorkerCrashError
+
 from repro.core import DependenceType
 from repro.metg import (
     METGUnachievable,
@@ -173,6 +176,191 @@ class TestRealRunner:
         r2 = RealRunner(BulkSyncExecutor(workers=2))
         r1._peak_per_core = r2._peak_per_core = 1e9
         assert r2.peak_flops == 2 * r1.peak_flops
+
+    def test_calibration_cached_process_wide(self, monkeypatch):
+        """Every runner of a sweep shares one calibration — per-instance
+        calibration would give each suite cell a different, noisy 100%
+        reference and make efficiencies incomparable across cells."""
+        from repro.metg import runners
+
+        calls = []
+        monkeypatch.setattr(runners, "_PEAK_PER_CORE", None)
+        monkeypatch.setattr(
+            runners, "calibrate_kernel_flops",
+            lambda *a, **kw: calls.append(1) or 3.5e9,
+        )
+        monkeypatch.delenv(runners.PEAK_FLOPS_ENV, raising=False)
+        r1 = RealRunner(SerialExecutor())
+        r2 = RealRunner(SerialExecutor())
+        assert r1.peak_flops == r2.peak_flops == 3.5e9
+        assert runners.peak_flops_per_core() == 3.5e9
+        assert len(calls) == 1
+
+    def test_calibration_env_override(self, monkeypatch):
+        from repro.metg import runners
+
+        monkeypatch.setenv(runners.PEAK_FLOPS_ENV, "2e9")
+        monkeypatch.setattr(
+            runners, "calibrate_kernel_flops",
+            lambda *a, **kw: pytest.fail("must not calibrate under override"),
+        )
+        assert runners.peak_flops_per_core() == 2e9
+        assert RealRunner(SerialExecutor()).peak_flops == 2e9
+
+    def test_calibration_env_override_rejects_garbage(self, monkeypatch):
+        from repro.metg import runners
+
+        monkeypatch.setenv(runners.PEAK_FLOPS_ENV, "fast")
+        with pytest.raises(ValueError, match="must be a number"):
+            runners.peak_flops_per_core()
+        monkeypatch.setenv(runners.PEAK_FLOPS_ENV, "-1")
+        with pytest.raises(ValueError, match="must be > 0"):
+            runners.peak_flops_per_core()
+
+
+class ScriptedRunner:
+    """Fake runner with a prescribed efficiency curve.
+
+    ``eff_fn(iterations)`` dictates the efficiency each probe reports; the
+    synthetic elapsed time is back-derived so ``measure()`` reproduces it
+    exactly, with task granularity growing with the iteration count (as on
+    any real system).  ``fail_attempts`` injects that many transient
+    worker crashes before the first successful run.
+    """
+
+    name = "scripted"
+    cores = 4
+    peak_flops = 1e6
+    peak_bytes_per_second = 1e6
+
+    def __init__(self, eff_fn, *, fail_attempts=0, max_retries=0):
+        self.eff_fn = eff_fn
+        self.max_retries = max_retries
+        self._fail_remaining = fail_attempts
+        self.graphs_seen = []
+
+    def run(self, graphs):
+        self.graphs_seen.append(graphs)
+        if self._fail_remaining > 0:
+            self._fail_remaining -= 1
+            raise WorkerCrashError("injected transient crash")
+        n = graphs[0].kernel.iterations
+        tasks = sum(g.total_tasks() for g in graphs)
+        eff = self.eff_fn(n)
+        total_flops = max(1, n) * tasks
+        return RunResult(
+            executor=self.name,
+            elapsed_seconds=total_flops / (eff * self.peak_flops),
+            cores=self.cores,
+            total_tasks=tasks,
+            total_dependencies=0,
+            total_flops=total_flops,
+        )
+
+
+def scripted_workload():
+    return compute_workload(2, steps=5, dependence=DependenceType.TRIVIAL)
+
+
+class TestMETGEdgeCases:
+    """Scripted-curve edge cases of the bracket search (paper §4)."""
+
+    @staticmethod
+    def smooth(n):
+        # Monotone curve crossing 50% at exactly n = 1000.
+        return n / (n + 1000)
+
+    def test_first_probe_above_target_brackets_downward(self):
+        """A starting guess past the crossing must trigger a downward
+        search, not report the guess's granularity as METG."""
+        r = ScriptedRunner(self.smooth)
+        res = metg(r, scripted_workload(), start_iterations=1 << 20)
+        assert res.below is not None
+        assert res.below.efficiency < 0.5 <= res.above.efficiency
+        assert res.below.iterations < res.above.iterations
+        # The crossing at n=1000 has granularity n*cores/(0.5*peak) = 8 ms;
+        # the old behaviour returned the n=2^20 granularity (~4.2 s).
+        assert res.metg_seconds == pytest.approx(8e-3, rel=0.15)
+
+    def test_metg_independent_of_starting_guess(self):
+        wl = scripted_workload()
+        from_below = metg(ScriptedRunner(self.smooth), wl, start_iterations=1)
+        from_above = metg(
+            ScriptedRunner(self.smooth), wl, start_iterations=1 << 20
+        )
+        assert from_above.metg_seconds == pytest.approx(
+            from_below.metg_seconds, rel=0.1
+        )
+
+    def test_always_above_target_returns_smallest_probe(self):
+        """If one iteration per task still meets the target, the crossing
+        is unobservable: report the smallest measurable granularity."""
+        r = ScriptedRunner(lambda n: 0.9)
+        res = metg(r, scripted_workload(), start_iterations=4096)
+        assert res.below is None
+        assert res.above.iterations == 1
+        assert res.metg_seconds == res.above.granularity_seconds
+
+    def test_non_monotone_curve_keeps_bracket_invariant(self):
+        """A dip in the efficiency curve (real curves are noisy) may move
+        the reported crossing but must never break the bracket."""
+
+        def dipped(n):
+            if 150 <= n <= 250:
+                return 0.3
+            return self.smooth(n) if n < 5000 else min(0.95, self.smooth(n))
+
+        res = metg(ScriptedRunner(dipped), scripted_workload())
+        assert res.above.efficiency >= 0.5
+        assert res.below is not None and res.below.efficiency < 0.5
+        assert res.below.iterations < res.above.iterations
+
+    def test_tolerance_bounds_bisection_termination(self):
+        wl = scripted_workload()
+        loose = metg(ScriptedRunner(self.smooth), wl, tolerance=0.5)
+        tight = metg(ScriptedRunner(self.smooth), wl, tolerance=0.005)
+        assert len(tight.history) > len(loose.history)
+        for res, tol in ((loose, 0.5), (tight, 0.005)):
+            lo_n, hi_n = res.below.iterations, res.above.iterations
+            assert hi_n <= max(lo_n + 1, lo_n * (1 + tol))
+
+    def test_retry_rebuilds_graphs_each_attempt(self):
+        """Regression: a retried probe must never re-run the graph objects
+        a crashed attempt partially executed."""
+        r = ScriptedRunner(self.smooth, fail_attempts=2, max_retries=3)
+        built = []
+
+        def factory(iterations):
+            graphs = scripted_workload()(iterations)
+            built.append(graphs)
+            return graphs
+
+        m = measure(r, factory, 1000)
+        assert len(built) == 3  # one fresh build per attempt
+        assert len(r.graphs_seen) == 3
+        seen_ids = [id(g) for g in r.graphs_seen]
+        assert len(set(seen_ids)) == 3, "an attempt re-used a graphs object"
+        assert r.graphs_seen[-1] is built[-1]
+        assert m.result.faults is not None
+        assert m.result.faults.probe_retries == 2
+
+    def test_retry_budget_exhausted_raises(self):
+        r = ScriptedRunner(self.smooth, fail_attempts=3, max_retries=1)
+        with pytest.raises(WorkerCrashError):
+            measure(r, scripted_workload(), 1000)
+        assert len(r.graphs_seen) == 2  # initial attempt + one retry
+
+    def test_probe_retries_accounted_in_sweep_history(self):
+        """FaultStats.probe_retries lands on exactly the probe that
+        burned the retries."""
+        r = ScriptedRunner(self.smooth, fail_attempts=1, max_retries=2)
+        res = metg(r, scripted_workload())
+        retries = [
+            (m.result.faults.probe_retries if m.result.faults else 0)
+            for m in res.history
+        ]
+        assert retries[0] == 1
+        assert sum(retries) == 1
 
 
 class TestScaling:
