@@ -1,0 +1,149 @@
+"""Serve A/B: warm daemon submission vs cold CLI invocation.
+
+Measures end-to-end latency for the same small ``processes`` cell down
+two paths:
+
+* **cold** — a fresh ``python -m repro.cli`` subprocess per run: every
+  run pays interpreter start, module imports, and forking a new worker
+  pool before any task executes (the pre-daemon workflow).
+* **warm** — submissions to a live :class:`repro.serve.Server` over its
+  UDS socket: the daemon is already imported and the warm pool hands the
+  job an existing fork-pool executor.
+
+Each warm submission varies ``iterations`` so the result cache never
+answers — the measurement isolates the warm *executor* path, not the
+cache.  Calibration is pinned via ``TASKBENCH_PEAK_FLOPS`` before either
+side runs so neither pays it inside a timed window.
+
+Results land in ``benchmarks/results/serve_warm.json`` (plus a text
+summary).  The >= 2x acceptance bound applies on hosts with >= 4 cores;
+single-core CI boxes record honest numbers without the bound (fork and
+scheduling jitter dominate there).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.metg.runners import PEAK_FLOPS_ENV, peak_flops_per_core
+from repro.serve import ServeClient, ServeConfig, Server
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+RUNS = 5
+WORKERS = 2
+BASE_ITERATIONS = 2_000  # a few ms of kernel work: startup dominates
+
+
+def _cell(iterations: int) -> dict:
+    return {
+        "runtime": "processes", "workers": WORKERS, "pattern": "trivial",
+        "width": 2, "steps": 2, "payload_bytes": 16, "metric": "run",
+        "iterations": iterations,
+    }
+
+
+def _cold_cli_seconds(iterations: int) -> float:
+    cmd = [
+        sys.executable, "-m", "repro.cli",
+        "-runtime", "processes", "-workers", str(WORKERS),
+        "-type", "trivial", "-width", "2", "-steps", "2",
+        "-output", "16", "-iter", str(iterations),
+    ]
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT
+    )
+    elapsed = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stdout.decode()
+    return elapsed
+
+
+def test_serve_warm_vs_cold_cli():
+    host_cores = os.cpu_count() or 1
+    previous = os.environ.get(PEAK_FLOPS_ENV)
+    os.environ[PEAK_FLOPS_ENV] = repr(peak_flops_per_core())
+    sock_dir = tempfile.mkdtemp(prefix="tb-bench-serve-")
+    server = Server(ServeConfig(
+        address=os.path.join(sock_dir, "serve.sock"), max_jobs=1,
+    ))
+    server.start()
+    try:
+        with ServeClient(server.config.address) as client:
+            # One untimed warm-up run forks the pool's workers.
+            warmup = client.run(_cell(BASE_ITERATIONS), timeout=60)
+            assert warmup["status"] == "ok"
+            warm = []
+            for run in range(RUNS):
+                start = time.perf_counter()
+                record = client.run(
+                    _cell(BASE_ITERATIONS + 1 + run), timeout=60
+                )
+                warm.append(time.perf_counter() - start)
+                assert record["status"] == "ok"
+                assert record["served"]["warm"], "warm pool missed"
+            stats = client.stats()
+        cold = [
+            _cold_cli_seconds(BASE_ITERATIONS + 100 + run)
+            for run in range(RUNS)
+        ]
+    finally:
+        server.close()
+        if previous is None:
+            os.environ.pop(PEAK_FLOPS_ENV, None)
+        else:
+            os.environ[PEAK_FLOPS_ENV] = previous
+
+    warm_median = statistics.median(warm)
+    cold_median = statistics.median(cold)
+    ratio = cold_median / warm_median if warm_median > 0 else float("inf")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "scenario": {
+            "runtime": "processes",
+            "workers": WORKERS,
+            "pattern": "trivial",
+            "width": 2,
+            "steps": 2,
+            "iterations_per_task": BASE_ITERATIONS,
+            "runs": RUNS,
+            "host_cores": host_cores,
+        },
+        "cold_cli_seconds": cold,
+        "warm_submit_seconds": warm,
+        "cold_median_seconds": cold_median,
+        "warm_median_seconds": warm_median,
+        "cold_over_warm": ratio,
+        "warm_pool": stats["warm_pool"],
+        "speedup_bound_applies": host_cores >= 4,
+    }
+    (RESULTS_DIR / "serve_warm.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"serve warm-vs-cold: processes x{WORKERS}, trivial 2x2, "
+        f"{RUNS} runs, host cores {host_cores}",
+        f"  cold CLI     median {cold_median * 1e3:8.1f} ms",
+        f"  warm submit  median {warm_median * 1e3:8.1f} ms",
+        f"  cold/warm  {ratio:6.2f}x"
+        + ("" if host_cores >= 4 else "  (host < 4 cores: bound not applied)"),
+    ]
+    (RESULTS_DIR / "serve_warm.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # Acceptance: on a multi-core host a warm submission must beat a cold
+    # CLI invocation by >= 2x — the daemon exists to amortize interpreter
+    # start + imports + worker forks.  Single-core hosts record the
+    # honest measurement without the bound.
+    if host_cores >= 4:
+        assert ratio >= 2.0, payload

@@ -377,6 +377,283 @@ def run_suite_cmd(args: List[str]) -> int:
     return 0 if summary.failed == 0 else 1
 
 
+def _serve_address(explicit: str | None) -> str:
+    """The service endpoint: ``--socket`` flag, else
+    ``TASKBENCH_SERVE_SOCKET``, else the default socket path."""
+    if explicit is not None:
+        return explicit
+    from .core.envvars import env_str
+
+    return env_str("TASKBENCH_SERVE_SOCKET", "taskbench-serve.sock")
+
+
+def run_serve_cmd(args: List[str]) -> int:
+    """``task-bench serve``: run the benchmark service daemon.
+
+    Binds a Unix-domain socket (or ``tcp:HOST:PORT``), sweeps orphaned
+    host state from earlier crashed runs, then serves SUBMIT/STATUS/
+    RESULT/STATS/DRAIN requests until drained — SIGTERM and SIGINT both
+    trigger the graceful drain (running jobs finish, new submissions are
+    rejected).  Exit codes: 0 drained cleanly, 2 usage error.
+    """
+    import signal
+
+    from .core.envvars import UsageError
+    from .core.janitor import sweep_host
+    from .serve import Server, ServeConfig
+
+    socket_path: str | None = None
+    overrides: dict = {}
+    quiet = False
+    int_flags = {
+        "--jobs": ("max_jobs", 1), "--cores": ("core_budget", 1),
+        "--queue": ("queue_size", 1), "--warm": ("warm_capacity", 0),
+        "--cache": ("cache_capacity", 0),
+    }
+    float_flags = {"--deadline": "deadline", "--ttl": "warm_ttl"}
+    pos = 0
+    while pos < len(args):
+        flag = args[pos]
+        pos += 1
+        if flag in ("--socket", "-socket"):
+            if pos >= len(args):
+                print("error: --socket is missing its value", file=sys.stderr)
+                return 2
+            socket_path = args[pos]
+            pos += 1
+        elif flag in ("--quiet", "-quiet", "-q"):
+            quiet = True
+        elif f"--{flag.lstrip('-')}" in int_flags:
+            name, minimum = int_flags[f"--{flag.lstrip('-')}"]
+            if pos >= len(args):
+                print(f"error: {flag} is missing its value", file=sys.stderr)
+                return 2
+            try:
+                value = int(args[pos])
+            except ValueError:
+                print(f"error: {flag} expects an integer, got {args[pos]!r}",
+                      file=sys.stderr)
+                return 2
+            if value < minimum:
+                print(f"error: {flag} must be >= {minimum}, got {value}",
+                      file=sys.stderr)
+                return 2
+            overrides[name] = value
+            pos += 1
+        elif f"--{flag.lstrip('-')}" in float_flags:
+            name = float_flags[f"--{flag.lstrip('-')}"]
+            if pos >= len(args):
+                print(f"error: {flag} is missing its value", file=sys.stderr)
+                return 2
+            try:
+                value = float(args[pos])
+            except ValueError:
+                print(f"error: {flag} expects a number, got {args[pos]!r}",
+                      file=sys.stderr)
+                return 2
+            if value <= 0:
+                print(f"error: {flag} must be > 0, got {value:g}",
+                      file=sys.stderr)
+                return 2
+            overrides[name] = value
+            pos += 1
+        else:
+            print(f"error: unknown serve flag {flag!r}", file=sys.stderr)
+            return 2
+    emit = (lambda line: None) if quiet else print
+    try:
+        config = ServeConfig.from_env(
+            address=_serve_address(socket_path), **overrides
+        )
+    except (UsageError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    report = sweep_host()
+    if report.total:
+        for line in report.report_lines():
+            emit(line)
+    server = Server(config)
+    try:
+        bound = server.start()
+    except (OSError, RuntimeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    emit(f"serving on {bound} "
+         f"(jobs {config.max_jobs}, cores {config.effective_core_budget}, "
+         f"queue {config.queue_size})")
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        server.drain()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _drain)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+    try:
+        server.wait()
+    finally:
+        server.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    emit("drained; exiting")
+    return 0
+
+
+def run_submit_cmd(args: List[str]) -> int:
+    """``task-bench submit``: run one cell on a running daemon.
+
+    Cell parameters use the main vocabulary (``-runtime``, ``-type``,
+    ``-width``, ``-steps``, ``-output``, ``-workers``, ``-kernel``,
+    ``-iter``); ``-metg [TARGET]`` switches the cell to a METG sweep.
+    Prints the durable record as JSON.  Exit codes: 0 cell ok or
+    unachievable, 1 cell failed, 2 usage / rejection error.
+    """
+    import json
+
+    from .serve import ServeClient, ServeError
+    from .serve.protocol import ProtocolError
+
+    socket_path: str | None = None
+    wait_timeout: float | None = None
+    cell: dict = {
+        "runtime": "serial", "pattern": "trivial", "width": 2, "steps": 4,
+        "payload_bytes": 16, "metric": "run",
+    }
+    field_flags = {
+        "-runtime": ("runtime", str), "-type": ("pattern", str),
+        "-width": ("width", int), "-steps": ("steps", int),
+        "-output": ("payload_bytes", int), "-workers": ("workers", int),
+        "-kernel": ("kernel", str), "-iter": ("iterations", int),
+        "-timeout": ("timeout", float), "--timeout": ("timeout", float),
+    }
+    pos = 0
+    while pos < len(args):
+        flag = args[pos]
+        pos += 1
+        if flag in ("--socket", "-socket"):
+            if pos >= len(args):
+                print("error: --socket is missing its value", file=sys.stderr)
+                return 2
+            socket_path = args[pos]
+            pos += 1
+        elif flag in ("--wait", "-wait"):
+            if pos >= len(args):
+                print("error: --wait is missing its value", file=sys.stderr)
+                return 2
+            try:
+                wait_timeout = float(args[pos])
+            except ValueError:
+                print(f"error: --wait expects seconds, got {args[pos]!r}",
+                      file=sys.stderr)
+                return 2
+            pos += 1
+        elif flag == "-metg":
+            cell["metric"] = "metg"
+            if pos < len(args):
+                try:
+                    cell["target"] = float(args[pos])
+                    pos += 1
+                except ValueError:
+                    pass  # next token is another flag; default target
+        elif flag in field_flags:
+            name, convert = field_flags[flag]
+            if pos >= len(args):
+                print(f"error: {flag} is missing its value", file=sys.stderr)
+                return 2
+            try:
+                cell[name] = convert(args[pos])
+            except ValueError:
+                print(f"error: {flag} got a bad value {args[pos]!r}",
+                      file=sys.stderr)
+                return 2
+            pos += 1
+        else:
+            print(f"error: unknown submit flag {flag!r}", file=sys.stderr)
+            return 2
+    address = _serve_address(socket_path)
+    try:
+        with ServeClient(address) as client:
+            record = client.run(cell, timeout=wait_timeout)
+    except ServeError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    except (OSError, ProtocolError) as e:
+        print(f"error: cannot reach daemon at {address}: {e}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0 if record.get("status") in ("ok", "unachievable") else 1
+
+
+def run_svc_stats_cmd(args: List[str]) -> int:
+    """``task-bench svc-stats``: print a running daemon's counters."""
+    import json
+
+    from .serve import ServeClient, ServeError
+    from .serve.protocol import ProtocolError
+
+    socket_path: str | None = None
+    if args and args[0] in ("--socket", "-socket"):
+        if len(args) < 2:
+            print("error: --socket is missing its value", file=sys.stderr)
+            return 2
+        socket_path = args[1]
+        args = args[2:]
+    if args:
+        print(f"error: unknown svc-stats flag {args[0]!r}", file=sys.stderr)
+        return 2
+    address = _serve_address(socket_path)
+    try:
+        with ServeClient(address) as client:
+            stats = client.stats()
+    except (ServeError, OSError, ProtocolError) as e:
+        print(f"error: cannot reach daemon at {address}: {e}",
+              file=sys.stderr)
+        return 2
+    stats.pop("ok", None)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def run_clean_cmd(args: List[str]) -> int:
+    """``task-bench clean``: sweep orphaned host state (crashed runs).
+
+    Unlinks shared-memory segments and cluster socket directories that a
+    kill -9'd benchmark left behind — the same sweep ``task-bench serve``
+    runs at startup.  ``--max-age SECONDS`` bounds how old a segment must
+    be before it is swept (default one hour).
+    """
+    from .core.janitor import sweep_host
+
+    max_age = None
+    if args and args[0] in ("--max-age", "-max-age"):
+        if len(args) < 2:
+            print("error: --max-age is missing its value", file=sys.stderr)
+            return 2
+        try:
+            max_age = float(args[1])
+        except ValueError:
+            print(f"error: --max-age expects seconds, got {args[1]!r}",
+                  file=sys.stderr)
+            return 2
+        if max_age < 0:
+            print(f"error: --max-age must be >= 0, got {max_age:g}",
+                  file=sys.stderr)
+            return 2
+        args = args[2:]
+    if args:
+        print(f"error: unknown clean flag {args[0]!r}", file=sys.stderr)
+        return 2
+    report = sweep_host(**(
+        {"max_age_seconds": max_age} if max_age is not None else {}
+    ))
+    for line in report.report_lines():
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args: List[str] = list(sys.argv[1:] if argv is None else argv)
@@ -384,8 +661,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_usage())
         return 0
     if args and args[0] in ("--list-runtimes", "-list-runtimes"):
-        for name, isolation in describe_runtimes():
-            print(f"{name:16s} {isolation}")
+        for name, isolation, cost in describe_runtimes():
+            print(f"{name:16s} {isolation:10s} {cost}")
         return 0
     if args and args[0] == "check":
         return run_check(args[1:])
@@ -393,6 +670,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_trace(args[1:])
     if args and args[0] == "suite":
         return run_suite_cmd(args[1:])
+    if args and args[0] == "serve":
+        return run_serve_cmd(args[1:])
+    if args and args[0] == "submit":
+        return run_submit_cmd(args[1:])
+    if args and args[0] == "svc-stats":
+        return run_svc_stats_cmd(args[1:])
+    if args and args[0] == "clean":
+        return run_clean_cmd(args[1:])
     # --audit: run normally but record the schedule and audit it afterwards.
     audit_enabled = False
     for flag in ("--audit", "-audit"):
@@ -674,8 +959,9 @@ app options:
                      waits, wire traffic) during the run and write Chrome
                      trace-event JSON to PATH — open it in Perfetto or
                      chrome://tracing; trace timings never feed METG
-  --list-runtimes    print each real executor and its isolation level
-                     (serial / threads / processes / cluster) and exit
+  --list-runtimes    print each real executor with its isolation level
+                     (serial / threads / processes / cluster) and its
+                     admission core cost (1, workers, or workers+1) and exit
 
 fault tolerance (process and cluster executors; env defaults in parentheses):
   --timeout SECONDS  per-round worker deadline — a wedged worker surfaces
@@ -710,6 +996,31 @@ subcommands:
                      only the cells a killed run left behind.  --report
                      prints the aggregate table; --csv writes it as CSV.
                      exit codes: 0 complete, 1 failed cells, 2 usage error
+  serve [--socket ADDR] [--jobs N] [--cores N] [--queue N] [--deadline S]
+        [--warm N] [--ttl S] [--cache N] [--quiet]
+                     run the benchmark service daemon: persistent warm
+                     executor pools, admission control (suite rules),
+                     single-flight result cache, explicit BUSY
+                     backpressure.  ADDR is a Unix socket path or
+                     tcp:HOST:PORT (default: TASKBENCH_SERVE_SOCKET or
+                     ./taskbench-serve.sock); remaining defaults read
+                     TASKBENCH_SERVE_{{JOBS,CORES,QUEUE,DEADLINE,WARM,
+                     TTL,CACHE}}.  SIGTERM/SIGINT drain gracefully:
+                     running jobs finish, new submissions are rejected
+  submit [--socket ADDR] [-runtime R] [-type P] [-width N] [-steps N]
+         [-output BYTES] [-workers N] [-kernel K] [-iter N] [-metg [T]]
+         [-timeout S] [--wait S]
+                     run one cell on a running daemon and print its
+                     record as JSON.  exit codes: 0 ok/unachievable,
+                     1 failed cell, 2 usage or rejection error
+  svc-stats [--socket ADDR]
+                     print a running daemon's counters (queue depth,
+                     cache hits, coalesced submissions, warm-pool
+                     state, per-verb latency percentiles) as JSON
+  clean [--max-age SECONDS]
+                     sweep orphaned /dev/shm segments and cluster socket
+                     directories left by crashed runs (also runs at
+                     serve startup)
 """
 
 

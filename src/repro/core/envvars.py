@@ -1,0 +1,89 @@
+"""Validated environment-variable parsing shared by the harness layers.
+
+Several layers read tuning knobs from the environment — the fault layer
+(``TASKBENCH_TIMEOUT``, ``TASKBENCH_MAX_RETRIES``), the METG calibration
+pin (``TASKBENCH_PEAK_FLOPS``), and the benchmark service
+(``TASKBENCH_SERVE_*``).  Before this module each site parsed its own
+variable and a typo surfaced as a bare ``ValueError`` traceback from deep
+inside the stack.  Every environment knob now goes through one validator
+family that raises :class:`UsageError` with the variable's name, the
+offending value and the accepted range — the CLI maps it to exit code 2
+like any other usage mistake.
+
+:class:`UsageError` subclasses :class:`ValueError`, so call sites that
+already guard with ``except ValueError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["UsageError", "env_float", "env_int", "env_str"]
+
+
+class UsageError(ValueError):
+    """A configuration value the user must fix (clear message, exit 2)."""
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """The stripped value of ``name``; ``default`` when unset or blank."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    raw = raw.strip()
+    return raw if raw else default
+
+
+def env_int(
+    name: str,
+    default: Optional[int] = None,
+    *,
+    minimum: Optional[int] = None,
+) -> Optional[int]:
+    """The integer value of ``name``; ``default`` when unset or blank.
+
+    Raises :class:`UsageError` when the value does not parse as an integer
+    or falls below ``minimum``.
+    """
+    raw = env_str(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise UsageError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise UsageError(f"{name} must be >= {minimum}, got {raw!r}")
+    return value
+
+
+def env_float(
+    name: str,
+    default: Optional[float] = None,
+    *,
+    minimum: Optional[float] = None,
+    exclusive_minimum: Optional[float] = None,
+) -> Optional[float]:
+    """The float value of ``name``; ``default`` when unset or blank.
+
+    Raises :class:`UsageError` when the value does not parse as a number,
+    falls below ``minimum``, or does not exceed ``exclusive_minimum``.
+    """
+    raw = env_str(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise UsageError(f"{name} must be a number, got {raw!r}") from None
+    if value != value:  # NaN never compares, so range checks cannot catch it
+        raise UsageError(f"{name} must be a number, got {raw!r}")
+    if exclusive_minimum is not None and value <= exclusive_minimum:
+        bound = f"> {exclusive_minimum:g}"
+        raise UsageError(f"{name} must be {bound}, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise UsageError(f"{name} must be >= {minimum:g}, got {raw!r}")
+    return value

@@ -45,6 +45,20 @@ class Executor(abc.ABC):
     def cores(self) -> int:
         """Number of cores this executor occupies (workers + reserved)."""
 
+    def heal(self) -> int:
+        """Repair any dead substrate in place; returns how many workers
+        were respawned or condemned.
+
+        Persistent-substrate executors (fork pools, rank meshes) can hold
+        dead workers while idle — e.g. a cached executor in the serve
+        warm pool whose worker was OOM-killed between requests.  ``heal``
+        makes the executor safe to run again without a cold rebuild:
+        process pools respawn dead workers in place, cluster executors
+        drop a broken mesh so the next run relaunches it.  Executors with
+        no out-of-process state are always healthy (the default no-op).
+        """
+        return 0
+
     @abc.abstractmethod
     def execute_graphs(
         self, graphs: Sequence[TaskGraph], *, validate: bool = True

@@ -1,0 +1,122 @@
+"""Host-hygiene sweeper: one entry point for every orphan-recovery pass.
+
+The substrates that claim host-global resources each grew their own
+recovery sweeper — :func:`repro.core.bufpool.sweep_orphaned_segments` for
+``/dev/shm`` slab segments stranded by a fault, and
+:func:`repro.cluster.launcher.sweep_orphaned_socket_dirs` for
+``taskbench-cluster-*`` socket directories left by a killed launcher.
+This module unifies them (plus a host-level stale-segment scan the
+per-process sweeper cannot perform) behind :func:`sweep_host`, which the
+benchmark daemon runs on start and ``task-bench clean`` exposes from the
+command line.
+
+Safety rules, in order of aggressiveness:
+
+* *own orphaned segments* — segments this process created whose owning
+  pool is gone: always safe, swept unconditionally;
+* *stale host segments* — ``psm_*`` files in ``/dev/shm`` older than
+  ``max_age_seconds``: another live benchmark's segments are younger than
+  that by construction (slab pools are per-run state), so age is the
+  ownership proxy;
+* *stale socket dirs* — the cluster sweeper's own one-hour age rule.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+#: Prefix of the slab-pool shared-memory segments (see repro.core.bufpool).
+SEGMENT_PREFIX = "psm_"
+
+#: Where POSIX shared memory is mounted on Linux.
+SHM_DIR = "/dev/shm"
+
+#: Age (seconds) past which a host segment with no live owner in *this*
+#: process is considered abandoned.  Mirrors the socket-dir sweeper's rule.
+DEFAULT_MAX_AGE_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class JanitorReport:
+    """What one :func:`sweep_host` pass removed."""
+
+    segments: List[str] = field(default_factory=list)
+    stale_segments: List[str] = field(default_factory=list)
+    socket_dirs: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            len(self.segments)
+            + len(self.stale_segments)
+            + len(self.socket_dirs)
+        )
+
+    def report_lines(self) -> List[str]:
+        lines = [
+            f"Swept Segments {len(self.segments)} orphaned, "
+            f"{len(self.stale_segments)} stale",
+            f"Swept Socket Dirs {len(self.socket_dirs)}",
+        ]
+        for name in self.segments + self.stale_segments:
+            lines.append(f"  segment {name}")
+        for path in self.socket_dirs:
+            lines.append(f"  socket dir {path}")
+        return lines
+
+
+def _sweep_stale_segments(max_age_seconds: float) -> List[str]:
+    """Unlink ``psm_*`` segments in ``/dev/shm`` older than the age bound.
+
+    The bufpool sweeper only touches segments created by the calling
+    process (it cannot tell a foreign live pool from a foreign orphan);
+    a long-lived janitor additionally needs to reclaim segments whose
+    creator died without cleanup.  Age is the safety margin: live slab
+    pools belong to runs measured in seconds-to-minutes.
+    """
+    removed: List[str] = []
+    if max_age_seconds <= 0 or not os.path.isdir(SHM_DIR):
+        return removed
+    now = time.time()
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:  # pragma: no cover - /dev/shm unreadable
+        return removed
+    for name in sorted(names):
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        path = os.path.join(SHM_DIR, name)
+        try:
+            if now - os.path.getmtime(path) < max_age_seconds:
+                continue
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced another sweeper
+            continue
+        removed.append(name)
+    return removed
+
+
+def sweep_host(
+    *, max_age_seconds: float = DEFAULT_MAX_AGE_SECONDS
+) -> JanitorReport:
+    """Run every orphan sweeper once and report what was removed.
+
+    ``max_age_seconds`` bounds the host-level stale-segment scan; pass
+    ``0`` to disable it (the in-process and socket-dir sweepers always
+    run — they have their own safety rules).
+    """
+    from .bufpool import sweep_orphaned_segments
+
+    segments = sweep_orphaned_segments()
+    stale = _sweep_stale_segments(max_age_seconds)
+    # Lazy import: core must not depend on the cluster subsystem at import
+    # time (cluster itself builds on core).
+    from ..cluster.launcher import sweep_orphaned_socket_dirs
+
+    socket_dirs = sweep_orphaned_socket_dirs()
+    return JanitorReport(
+        segments=segments, stale_segments=stale, socket_dirs=socket_dirs
+    )

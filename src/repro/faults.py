@@ -18,6 +18,9 @@ of the fault-tolerance layer:
   environment-level defaults (``TASKBENCH_TIMEOUT``,
   ``TASKBENCH_MAX_RETRIES``) so test suites and CI chaos legs can arm
   deadlines and retries without threading flags through every call site.
+  Both parse through :mod:`repro.core.envvars`, so a malformed value
+  raises a :class:`~repro.core.envvars.UsageError` naming the variable
+  instead of a bare ``ValueError`` traceback.
 
 Faults are **transient by construction**: a fault is attached to the first
 generation of a pool's workers only, so a respawned worker runs clean and
@@ -39,6 +42,8 @@ import os
 import signal
 import time
 from dataclasses import dataclass
+
+from .core.envvars import env_float, env_int
 
 #: Recognized fault kinds.
 FAULT_KINDS = ("crash", "wedge", "delay")
@@ -121,24 +126,14 @@ def fault_from_env() -> FaultSpec | None:
 def default_timeout() -> float | None:
     """Per-round deadline (seconds) from ``TASKBENCH_TIMEOUT``; ``None``
     (no deadline) when unset or empty."""
-    raw = os.environ.get(ENV_TIMEOUT, "").strip()
-    if not raw:
-        return None
-    value = float(raw)
-    if value <= 0:
-        raise ValueError(f"{ENV_TIMEOUT} must be > 0, got {raw!r}")
-    return value
+    return env_float(ENV_TIMEOUT, None, exclusive_minimum=0.0)
 
 
 def default_max_retries() -> int:
     """Transient-failure retry budget from ``TASKBENCH_MAX_RETRIES``
     (default 0: fail fast)."""
-    raw = os.environ.get(ENV_MAX_RETRIES, "").strip()
-    if not raw:
-        return 0
-    value = int(raw)
-    if value < 0:
-        raise ValueError(f"{ENV_MAX_RETRIES} must be >= 0, got {raw!r}")
+    value = env_int(ENV_MAX_RETRIES, 0, minimum=0)
+    assert value is not None  # a non-None default is returned as-is
     return value
 
 

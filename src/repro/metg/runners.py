@@ -7,10 +7,10 @@ substrate is underneath.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Sequence
 
+from ..core.envvars import env_float
 from ..core.executor_base import Executor
 from ..core.kernels import FLOPS_PER_ITERATION, execute_kernel_compute
 from ..core.metrics import RunResult
@@ -169,16 +169,8 @@ def peak_flops_per_core(*, recalibrate: bool = False) -> float:
     (and refreshes the cache) unless the environment override is set.
     """
     global _PEAK_PER_CORE
-    env = os.environ.get(PEAK_FLOPS_ENV)
-    if env is not None:
-        try:
-            value = float(env)
-        except ValueError:
-            raise ValueError(
-                f"{PEAK_FLOPS_ENV} must be a number, got {env!r}"
-            ) from None
-        if value <= 0:
-            raise ValueError(f"{PEAK_FLOPS_ENV} must be > 0, got {value}")
+    value = env_float(PEAK_FLOPS_ENV, None, exclusive_minimum=0.0)
+    if value is not None:
         return value
     if _PEAK_PER_CORE is None or recalibrate:
         _PEAK_PER_CORE = calibrate_kernel_flops()

@@ -115,6 +115,22 @@ class _ClusterExecutor(Executor):
             self._cluster.close()
             self._cluster = None
 
+    def heal(self) -> int:
+        """Drop the mesh if any rank died while it sat idle.
+
+        A socket mesh cannot be healed rank-by-rank (sockets are
+        half-dead, epochs desynchronized — see the module docstring), so
+        healing means condemning the broken mesh: the next run relaunches
+        a fresh one.  Returns the number of ranks the drop discarded.
+        """
+        cluster = self._cluster
+        if cluster is None:
+            return 0
+        if cluster.alive_ranks == self.workers and not cluster.dead:
+            return 0
+        self._drop_cluster()
+        return self.workers
+
     def _snapshot_faults(self) -> FaultStats | None:
         """Cumulative supervision counters (torn-down meshes + live mesh);
         ``None`` while no fault has ever been observed."""

@@ -175,6 +175,21 @@ class _PhasedProcessExecutor(Executor):
             self._procs = None
         self._known = {}
 
+    def heal(self) -> int:
+        """Respawn any worker that died while the pool sat idle.
+
+        The in-run self-healing path (:meth:`_sync_workers`) already heals
+        between runs of a sweep; this public entry point covers executors
+        cached *between requests* (the serve warm pool heals on checkout
+        so a crashed cached worker never poisons a later request).  A
+        pool that was never forked is trivially healthy.
+        """
+        if self._procs is None:
+            return 0
+        if not self._procs.dead_workers:
+            return 0
+        return self._procs.heal(initargs=(list(self._known.values()),))
+
     def _snapshot_faults(self) -> FaultStats | None:
         """Cumulative supervision counters (dropped pools + live pool);
         ``None`` while no fault has ever been observed."""

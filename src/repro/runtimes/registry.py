@@ -110,10 +110,31 @@ def runtime_core_cost(name: str, workers: int) -> int:
     return workers
 
 
-def describe_runtimes() -> List[Tuple[str, str]]:
-    """``(name, isolation)`` for every registered executor, sorted by name
-    (the backing data of ``task-bench --list-runtimes``)."""
-    return [(name, _CLASSES[name].isolation) for name in available_runtimes()]
+def runtime_core_cost_formula(name: str) -> str:
+    """Human-readable core-cost rule of a registered executor.
+
+    The symbolic counterpart of :func:`runtime_core_cost`, shown by
+    ``task-bench --list-runtimes`` so suite/serve admission decisions are
+    inspectable without picking a worker count: ``"1"`` (serial),
+    ``"workers"`` (one core per worker), or ``"workers+1"`` (cluster
+    substrates reserve a core for the supervising launcher).
+    """
+    isolation = runtime_isolation(name)
+    if isolation == "serial":
+        return "1"
+    if isolation == "cluster":
+        return "workers+1"
+    return "workers"
+
+
+def describe_runtimes() -> List[Tuple[str, str, str]]:
+    """``(name, isolation, core-cost formula)`` for every registered
+    executor, sorted by name (the backing data of
+    ``task-bench --list-runtimes``)."""
+    return [
+        (name, _CLASSES[name].isolation, runtime_core_cost_formula(name))
+        for name in available_runtimes()
+    ]
 
 
 def make_executor(name: str, workers: int = 2, **kwargs) -> Executor:

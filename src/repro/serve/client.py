@@ -1,0 +1,114 @@
+"""Blocking client for the benchmark service.
+
+One :class:`ServeClient` holds one connection and speaks the
+request-per-reply protocol of :mod:`repro.serve.protocol`.  Service-side
+rejections surface as :class:`ServeError` carrying the machine-readable
+code (``BUSY``, ``DRAINING``, ``INVALID``, ...), so callers can tell
+"retry later" from "fix your request"::
+
+    with ServeClient("bench.sock") as client:
+        record = client.run({"runtime": "serial", "pattern": "trivial",
+                             "width": 2, "steps": 4, "payload_bytes": 16,
+                             "metric": "run"})
+        print(record["measurements"]["elapsed_seconds"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from . import protocol
+from .protocol import ProtocolError
+
+
+class ServeError(RuntimeError):
+    """The service rejected a request (carries the protocol error code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """A blocking connection to one daemon.
+
+    ``address`` is a Unix-domain socket path or ``tcp:HOST:PORT`` — the
+    same forms ``task-bench serve`` binds.
+    """
+
+    def __init__(self, address: str,
+                 connect_timeout: Optional[float] = 10.0) -> None:
+        self.address = address
+        if address.startswith("tcp:"):
+            _, host, port_text = address.split(":", 2)
+            self._sock = socket.create_connection(
+                (host, int(port_text)), timeout=connect_timeout
+            )
+        else:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(connect_timeout)
+            self._sock.connect(address)
+        self._sock.settimeout(None)  # request latency is the server's call
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw round-trip; raises :class:`ServeError` on ``ok=False``."""
+        protocol.send_frame(self._sock, body)
+        reply = protocol.recv_frame(self._sock)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not reply.get("ok", False):
+            raise ServeError(
+                str(reply.get("code", "ERROR")),
+                str(reply.get("error", "request failed")),
+            )
+        return reply
+
+    def submit(self, cell: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one cell; returns the job summary (id, state, cached)."""
+        return self.request({"verb": "SUBMIT", "cell": dict(cell)})
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self.request({"verb": "STATUS", "job": job})
+
+    def result(self, job: str,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until ``job`` is terminal; returns its durable record."""
+        body: Dict[str, Any] = {"verb": "RESULT", "job": job}
+        if timeout is not None:
+            body["timeout"] = timeout
+        reply = self.request(body)
+        record = reply.get("record")
+        if not isinstance(record, dict):
+            raise ProtocolError(f"job {job} reply carries no record")
+        return record
+
+    def run(self, cell: Dict[str, Any],
+            timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one cell and wait for its record (the common path)."""
+        summary = self.submit(cell)
+        return self.result(str(summary["job"]), timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"verb": "STATS"})
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request({"verb": "DRAIN"})
+
+
+__all__ = ["ServeClient", "ServeError"]

@@ -1,0 +1,211 @@
+"""Request/response protocol of the benchmark service.
+
+Every message is one *frame* — the framing discipline of
+:mod:`repro.cluster.wire`, reused verbatim::
+
+    +----------+---------------------------+
+    | length   | body                      |
+    | u32 LE   | JSON object, UTF-8        |
+    +----------+---------------------------+
+
+Unlike the rank mesh's hot data plane, every service message is cold
+control traffic (a handful per benchmark run), so the body is JSON rather
+than packed structs: requests are inspectable with ``socat`` and the
+schema can grow fields without a version dance.  The length prefix and
+the 16 MiB cap keep the failure modes of the binary protocol — a corrupt
+prefix cannot make the server allocate an absurd buffer, and a short read
+is a clean :class:`ProtocolError`, never a hang on a half frame.
+
+Requests are ``{"verb": ..., ...}`` objects; the verb set:
+
+``SUBMIT``
+    ``{"verb": "SUBMIT", "cell": {...}}`` — enqueue one measurement job.
+    The cell mapping holds :class:`~repro.suite.spec.Cell` fields
+    (``runtime``/``pattern``/``width``/``steps``/``payload_bytes``/
+    ``metric`` plus optional shared configuration).  Replies carry a
+    ``job`` id and a ``state``; duplicate in-flight submissions coalesce
+    onto the same id, and a cached terminal record answers instantly.
+``STATUS``
+    ``{"verb": "STATUS", "job": id}`` — non-blocking job state probe.
+``RESULT``
+    ``{"verb": "RESULT", "job": id, "timeout": seconds?}`` — block until
+    the job reaches a terminal state (or the timeout), then return its
+    durable record (the same shape :func:`repro.suite.scheduler.run_cell`
+    produces).
+``STATS``
+    ``{"verb": "STATS"}`` — service counters and latency percentiles.
+``DRAIN``
+    ``{"verb": "DRAIN"}`` — stop admitting, finish running jobs, exit.
+
+Error replies are ``{"ok": false, "error": msg, "code": CODE}`` with
+machine-readable codes: ``INVALID`` (malformed request or cell), ``BUSY``
+(queue full — explicit backpressure, retry later), ``DRAINING`` (server
+shutting down), ``UNKNOWN_JOB``, ``TIMEOUT``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from ..cluster.wire import LEN_STRUCT
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame body (16 MiB) — control traffic is small; a
+#: corrupted length prefix must not trigger a giant allocation.
+MAX_FRAME_BYTES = 16 << 20
+
+#: The request verbs the server understands.
+VERBS = ("SUBMIT", "STATUS", "RESULT", "STATS", "DRAIN")
+
+#: Machine-readable error codes carried in ``{"ok": false}`` replies.
+ERR_INVALID = "INVALID"
+ERR_BUSY = "BUSY"
+ERR_DRAINING = "DRAINING"
+ERR_UNKNOWN_JOB = "UNKNOWN_JOB"
+ERR_TIMEOUT = "TIMEOUT"
+
+#: Required / optional request fields per verb (beyond ``verb`` itself),
+#: with the accepted types.  The single source of request-shape truth —
+#: the server validates against this table before touching the body.
+_SCHEMA: Dict[str, Dict[str, Any]] = {
+    "SUBMIT": {"required": {"cell": dict}, "optional": {}},
+    "STATUS": {"required": {"job": str}, "optional": {}},
+    "RESULT": {"required": {"job": str},
+               "optional": {"timeout": (int, float)}},
+    "STATS": {"required": {}, "optional": {}},
+    "DRAIN": {"required": {}, "optional": {}},
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request arrived (bad length, bad JSON, bad
+    schema)."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, body: Dict[str, Any]) -> None:
+    """Encode ``body`` as one length-prefixed JSON frame and send it."""
+    data = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    sock.sendall(LEN_STRUCT.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary.
+
+    EOF *inside* a frame (length prefix or body truncated) is a
+    :class:`ProtocolError` — the peer died mid-message.
+    """
+    prefix = _recv_exact(sock, LEN_STRUCT.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (length,) = LEN_STRUCT.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    data = _recv_exact(sock, length, eof_ok=False)
+    assert data is not None
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"corrupt frame body: {exc}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def _recv_exact(sock: socket.socket, n: int, *,
+                eof_ok: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on immediate EOF if allowed."""
+    chunks = []
+    have = 0
+    while have < n:
+        chunk = sock.recv(n - have)
+        if not chunk:
+            if eof_ok and have == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({have}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        have += len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+def validate_request(body: Dict[str, Any]) -> str:
+    """Check one decoded request against the verb schema.
+
+    Returns the verb; raises :class:`ProtocolError` naming the first
+    violation (unknown verb, missing field, wrong type, stray field).
+    """
+    verb = body.get("verb")
+    if not isinstance(verb, str) or verb not in _SCHEMA:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}"
+        )
+    schema = _SCHEMA[verb]
+    for name, types in schema["required"].items():
+        if name not in body:
+            raise ProtocolError(f"{verb} requires field {name!r}")
+        if not isinstance(body[name], types) or isinstance(body[name], bool):
+            raise ProtocolError(
+                f"{verb} field {name!r} must be "
+                f"{_type_name(types)}, got {type(body[name]).__name__}"
+            )
+    for name, value in body.items():
+        if name == "verb":
+            continue
+        if name in schema["required"]:
+            continue
+        if name not in schema["optional"]:
+            raise ProtocolError(f"{verb} does not accept field {name!r}")
+        types = schema["optional"][name]
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise ProtocolError(
+                f"{verb} field {name!r} must be "
+                f"{_type_name(types)}, got {type(value).__name__}"
+            )
+    return verb
+
+
+def _type_name(types: Any) -> str:
+    if isinstance(types, tuple):
+        return " or ".join(t.__name__ for t in types)
+    return types.__name__
+
+
+def error_reply(code: str, message: str) -> Dict[str, Any]:
+    """The canonical ``{"ok": false}`` reply body."""
+    return {"ok": False, "code": code, "error": message}
+
+
+__all__ = [
+    "ERR_BUSY",
+    "ERR_DRAINING",
+    "ERR_INVALID",
+    "ERR_TIMEOUT",
+    "ERR_UNKNOWN_JOB",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "VERBS",
+    "error_reply",
+    "recv_frame",
+    "send_frame",
+    "validate_request",
+]

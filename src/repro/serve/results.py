@@ -1,0 +1,124 @@
+"""Result cache + single-flight coalescing for the benchmark service.
+
+Two distinct mechanisms share a key — the cell *fingerprint*, a stable
+digest of every :class:`~repro.suite.spec.Cell` parameter:
+
+* The **result cache** holds terminal records of finished cells (LRU,
+  bounded).  Only honest terminals are cached — ``ok`` and
+  ``unachievable`` are properties of the cell, but ``failed`` records
+  describe one attempt (a crashed worker, a deadline kill) and must not
+  be replayed to later submitters.
+* The **single-flight table** maps fingerprints of cells currently
+  running or queued to their job id, so concurrent identical submissions
+  coalesce onto one execution: the second submitter gets the first's job
+  id and waits on the same record.  cf. Go's ``singleflight`` package —
+  under a thundering herd of identical requests exactly one does the
+  work.
+
+Neither structure owns a lock: the server mutates both under its single
+state lock (every operation here is pure dict work, nothing blocks), so
+cache lookup, coalescing and queue admission are one atomic decision —
+the classic check-then-act race between "is it cached?" and "is it
+already running?" cannot happen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..suite.spec import Cell
+
+#: Terminal statuses that are properties of the cell (cacheable), as
+#: opposed to properties of one failed attempt.
+CACHEABLE_STATUSES = frozenset({"ok", "unachievable"})
+
+
+def cell_fingerprint(cell: Cell) -> str:
+    """Stable digest of *every* cell parameter.
+
+    Unlike :attr:`Cell.key` (axis values only — within one suite the
+    shared configuration is constant), the fingerprint folds in workers,
+    kernel, iterations, target and the rest: the service accepts cells
+    from many clients with no shared spec, so two submissions are "the
+    same measurement" only if every parameter matches.
+    """
+    canonical = json.dumps(cell.params(), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """Bounded LRU of terminal records + the in-flight job table.
+
+    Not thread-safe by design — see the module docstring: the server
+    serializes access under its state lock so cache/coalesce/admit is
+    atomic.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._records: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._inflight: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+
+    # -- result cache --------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached terminal record, freshened to most-recently-used."""
+        record = self._records.get(fingerprint)
+        if record is None:
+            self.misses += 1
+            return None
+        self._records.move_to_end(fingerprint)
+        self.hits += 1
+        return record
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> bool:
+        """Cache a terminal record; drops the LRU entry over capacity.
+
+        Returns whether the record was cached (``failed`` attempts and a
+        zero-capacity cache decline).
+        """
+        if self.capacity == 0:
+            return False
+        if record.get("status") not in CACHEABLE_STATUSES:
+            return False
+        self._records[fingerprint] = record
+        self._records.move_to_end(fingerprint)
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+        return True
+
+    # -- single flight -------------------------------------------------
+    def lookup_inflight(self, fingerprint: str) -> Optional[str]:
+        """The job id already running/queued for this fingerprint, if
+        any — a hit means the submitter coalesces onto that flight."""
+        leader = self._inflight.get(fingerprint)
+        if leader is not None:
+            self.coalesced += 1
+        return leader
+
+    def enter_inflight(self, fingerprint: str, job_id: str) -> None:
+        """Register ``job_id`` as this fingerprint's flight leader."""
+        assert fingerprint not in self._inflight
+        self._inflight[fingerprint] = job_id
+
+    def leave_inflight(self, fingerprint: str, job_id: str) -> None:
+        """Unregister a finished flight (no-op if another leads it)."""
+        if self._inflight.get(fingerprint) == job_id:
+            del self._inflight[fingerprint]
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+__all__ = ["CACHEABLE_STATUSES", "ResultCache", "cell_fingerprint"]

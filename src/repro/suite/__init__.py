@@ -11,8 +11,22 @@ Surfaced on the command line as ``task-bench suite SPEC [--jobs N]
 [--resume] [--report]``.
 """
 
-from .scheduler import SuiteSummary, run_cell, run_suite
-from .spec import Cell, SpecError, SuiteSpec, load_spec, spec_from_mapping
+from .scheduler import (
+    Claim,
+    SuiteSummary,
+    admit,
+    claim_for_cell,
+    run_cell,
+    run_suite,
+)
+from .spec import (
+    Cell,
+    SpecError,
+    SuiteSpec,
+    load_spec,
+    spec_from_mapping,
+    validate_cell,
+)
 from .store import (
     StoreError,
     SuiteStore,
@@ -24,12 +38,15 @@ from .store import (
 
 __all__ = [
     "Cell",
+    "Claim",
     "SpecError",
     "StoreError",
     "SuiteSpec",
     "SuiteStore",
     "SuiteSummary",
+    "admit",
     "aggregate_rows",
+    "claim_for_cell",
     "load_rows",
     "load_spec",
     "render_csv",
@@ -37,4 +54,5 @@ __all__ = [
     "run_cell",
     "run_suite",
     "spec_from_mapping",
+    "validate_cell",
 ]

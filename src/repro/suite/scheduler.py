@@ -38,7 +38,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..metg.efficiency import measure
 from ..metg.metg import METGUnachievable, metg
@@ -108,20 +108,25 @@ def _make_runner(cell: Cell):
     return RealRunner(make_executor(cell.runtime, workers=cell.workers, **kwargs))
 
 
-def run_cell(cell: Cell) -> dict:
+def run_cell(cell: Cell, runner=None) -> dict:
     """Execute one cell to a durable record (never raises).
 
     One runner serves every probe of the cell, so persistent substrates
-    (fork pools, slab pools, rank meshes) stay warm across the sweep; it
-    is closed before the record is returned so worker trees never outlive
-    the cell.
+    (fork pools, slab pools, rank meshes) stay warm across the sweep.  By
+    default the runner is built here and closed before the record is
+    returned, so worker trees never outlive the cell; a caller that owns
+    a warm runner (the serve daemon checking an executor out of its warm
+    pool) passes it in and keeps responsibility for its lifecycle — the
+    cell then runs without paying substrate construction, and ``run_cell``
+    never closes what it did not open.
     """
     started = time.perf_counter()
     status, error = "ok", None
     measurements: dict = {}
-    runner = None
+    owns_runner = runner is None
     try:
-        runner = _make_runner(cell)
+        if runner is None:
+            runner = _make_runner(cell)
         if cell.metric == "run":
             m = measure(runner, cell.graphs_at, cell.iterations)
             measurements = {
@@ -152,7 +157,7 @@ def run_cell(cell: Cell) -> dict:
     except Exception as e:  # a failed cell must not sink the suite
         status, error = "failed", f"{type(e).__name__}: {e}"
     finally:
-        if runner is not None:
+        if owns_runner and runner is not None:
             close = getattr(runner, "close", None)
             if close is not None:
                 try:
@@ -180,12 +185,52 @@ def _cell_worker(params: dict, store_root: str) -> None:
 # ---------------------------------------------------------------------------
 # Admission control
 # ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Claim:
+    """One unit of in-flight work, as admission control sees it.
+
+    The currency shared by every layer that schedules benchmark work on
+    one host — the suite scheduler's cell workers and the serve daemon's
+    warm-executor jobs both admit against lists of claims, so the
+    isolation-exclusivity and core-budget rules cannot drift apart.
+    """
+
+    runtime: str
+    cost: int
+    isolation: str
+
+
+def admit(candidate: Claim, running: Sequence[Claim], max_jobs: int,
+          core_budget: int) -> bool:
+    """Whether ``candidate`` may start now, given the in-flight claims.
+
+    The three admission rules of the module docstring: job cap, isolation
+    exclusivity (cluster meshes never overlap; runtimes in
+    :data:`SERIALIZED_RUNTIMES` never overlap themselves), and the host
+    core budget.  An idle scheduler admits anything — guaranteed progress
+    even for a claim larger than the budget.
+    """
+    if len(running) >= max_jobs:
+        return False
+    if not running:
+        return True  # guaranteed progress: an idle scheduler admits anything
+    if candidate.isolation in EXCLUSIVE_ISOLATION and any(
+        claim.isolation == candidate.isolation for claim in running
+    ):
+        return False
+    if candidate.runtime in SERIALIZED_RUNTIMES and any(
+        claim.runtime == candidate.runtime for claim in running
+    ):
+        return False
+    used = sum(claim.cost for claim in running)
+    return used + candidate.cost <= core_budget
+
+
 @dataclass
 class _Job:
     cell: Cell
     proc: multiprocessing.process.BaseProcess
-    cost: int
-    isolation: str
+    claim: Claim
     started: float
 
 
@@ -200,24 +245,22 @@ def cell_isolation(cell: Cell) -> str:
     return "serial" if cell.is_simulated else runtime_isolation(cell.runtime)
 
 
+def claim_for_cell(cell: Cell) -> Claim:
+    """The admission claim one cell occupies while it runs."""
+    return Claim(
+        runtime=cell.runtime,
+        cost=cell_cost(cell),
+        isolation=cell_isolation(cell),
+    )
+
+
 def admissible(cell: Cell, running: List[_Job], jobs: int,
                core_budget: int) -> bool:
     """Whether ``cell`` may start now, given the in-flight jobs."""
-    if len(running) >= jobs:
-        return False
-    if not running:
-        return True  # guaranteed progress: an idle scheduler admits anything
-    isolation = cell_isolation(cell)
-    if isolation in EXCLUSIVE_ISOLATION and any(
-        job.isolation == isolation for job in running
-    ):
-        return False
-    if cell.runtime in SERIALIZED_RUNTIMES and any(
-        job.cell.runtime == cell.runtime for job in running
-    ):
-        return False
-    used = sum(job.cost for job in running)
-    return used + cell_cost(cell) <= core_budget
+    return admit(
+        claim_for_cell(cell), [job.claim for job in running], jobs,
+        core_budget,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -276,8 +319,7 @@ def run_suite(
                         running.append(_Job(
                             cell=cell,
                             proc=proc,
-                            cost=cell_cost(cell),
-                            isolation=cell_isolation(cell),
+                            claim=claim_for_cell(cell),
                             started=time.perf_counter(),
                         ))
                         progressed = True
@@ -420,10 +462,13 @@ def _fork_context():
 __all__ = [
     "EXCLUSIVE_ISOLATION",
     "SERIALIZED_RUNTIMES",
+    "Claim",
     "SuiteSummary",
     "admissible",
+    "admit",
     "cell_cost",
     "cell_isolation",
+    "claim_for_cell",
     "run_cell",
     "run_suite",
 ]

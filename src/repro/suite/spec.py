@@ -116,6 +116,60 @@ class Cell:
         return [copy.copy(template)]
 
 
+def validate_cell(cell: Cell) -> None:
+    """Validate one standalone cell, raising :class:`SpecError`.
+
+    Cells built through :meth:`SuiteSpec.cells` inherit the spec's
+    validation; cells built directly from untrusted input (a serve-daemon
+    SUBMIT body) get none, so callers that accept them over the wire run
+    this first.  Mirrors the constraints of ``SuiteSpec.__post_init__``
+    restricted to a single cell.
+    """
+    if cell.is_simulated:
+        system = cell.runtime[len("sim:"):]
+        if system not in set(all_systems()):
+            raise SpecError(
+                f"unknown simulated system {cell.runtime!r}; available: "
+                f"{', '.join('sim:' + s for s in sorted(all_systems()))}"
+            )
+    elif cell.runtime not in set(available_runtimes()):
+        raise SpecError(
+            f"unknown runtime {cell.runtime!r}; available: "
+            f"{', '.join(available_runtimes())}"
+        )
+    try:
+        DependenceType.parse(cell.pattern)
+        KernelType.parse(cell.kernel)
+    except ValueError as e:
+        raise SpecError(str(e)) from None
+    if cell.metric not in METRICS:
+        raise SpecError(
+            f"unknown metric {cell.metric!r}; expected one of {METRICS}"
+        )
+    for attr in ("width", "steps"):
+        value = getattr(cell, attr)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise SpecError(f"{attr} must be an integer >= 1, got {value!r}")
+    if (not isinstance(cell.payload_bytes, int)
+            or isinstance(cell.payload_bytes, bool)
+            or cell.payload_bytes < 0):
+        raise SpecError(
+            f"payload_bytes must be an integer >= 0, got {cell.payload_bytes!r}"
+        )
+    if cell.workers < 1:
+        raise SpecError(f"workers must be >= 1, got {cell.workers}")
+    if cell.iterations < 0:
+        raise SpecError(f"iterations must be >= 0, got {cell.iterations}")
+    if not 0.0 < cell.target < 1.0:
+        raise SpecError(f"target must be in (0, 1), got {cell.target}")
+    if cell.max_iterations < 1:
+        raise SpecError(
+            f"max_iterations must be >= 1, got {cell.max_iterations}"
+        )
+    if cell.timeout is not None and cell.timeout <= 0:
+        raise SpecError(f"timeout must be > 0, got {cell.timeout}")
+
+
 @lru_cache(maxsize=4096)
 def _graph_template(pattern: str, width: int, steps: int,
                     payload_bytes: int, kernel: str,
@@ -382,4 +436,5 @@ __all__ = [
     "SuiteSpec",
     "load_spec",
     "spec_from_mapping",
+    "validate_cell",
 ]

@@ -324,7 +324,7 @@ def test_sweep_removes_only_stale_dirs(monkeypatch):
 
 
 def test_isolation_levels():
-    table = dict(describe_runtimes())
+    table = {name: isolation for name, isolation, _ in describe_runtimes()}
     assert table["serial"] == "serial"
     assert table["threads"] == "threads"
     assert table["processes"] == "processes"
@@ -336,15 +336,27 @@ def test_isolation_levels():
         runtime_isolation("slurm")
 
 
+def test_core_cost_formulas():
+    costs = {name: cost for name, _, cost in describe_runtimes()}
+    assert costs["serial"] == "1"
+    assert costs["threads"] == "workers"
+    assert costs["processes"] == "workers"
+    assert costs["cluster_tcp"] == "workers+1"
+    assert costs["cluster_uds"] == "workers+1"
+
+
 def test_cli_list_runtimes(capsys):
     from repro.cli import main
 
     assert main(["--list-runtimes"]) == 0
     out = capsys.readouterr().out
-    lines = dict(line.split() for line in out.strip().splitlines())
-    assert lines["cluster_tcp"] == "cluster"
-    assert lines["cluster_uds"] == "cluster"
-    assert lines["serial"] == "serial"
+    rows = [line.split() for line in out.strip().splitlines()]
+    assert all(len(row) == 3 for row in rows)
+    table = {name: (isolation, cost) for name, isolation, cost in rows}
+    assert table["cluster_tcp"] == ("cluster", "workers+1")
+    assert table["cluster_uds"] == ("cluster", "workers+1")
+    assert table["serial"] == ("serial", "1")
+    assert table["processes"] == ("processes", "workers")
 
 
 def test_cli_crash_fault_exits_nonzero(capsys):

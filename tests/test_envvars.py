@@ -1,0 +1,150 @@
+"""Tests for repro.core.envvars — the shared environment-knob validators.
+
+Every TASKBENCH_* knob goes through one validator family; a bad value
+must surface as a UsageError with the variable's name and the offending
+value, never as a bare ValueError traceback from deep inside the stack.
+"""
+
+import pytest
+
+from repro.core.envvars import UsageError, env_float, env_int, env_str
+
+VAR = "TASKBENCH_TEST_KNOB"
+
+
+class TestEnvStr:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_str(VAR) is None
+        assert env_str(VAR, "fallback") == "fallback"
+
+    def test_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv(VAR, "   ")
+        assert env_str(VAR, "fallback") == "fallback"
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(VAR, "  hello ")
+        assert env_str(VAR) == "hello"
+
+
+class TestEnvInt:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv(VAR, "42")
+        assert env_int(VAR) == 42
+
+    def test_unset_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_int(VAR, 7) == 7
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(VAR, "three")
+        with pytest.raises(UsageError, match=rf"{VAR} must be an integer.*'three'"):
+            env_int(VAR)
+
+    def test_float_text_rejected(self, monkeypatch):
+        monkeypatch.setenv(VAR, "3.5")
+        with pytest.raises(UsageError, match="must be an integer"):
+            env_int(VAR)
+
+    def test_minimum(self, monkeypatch):
+        monkeypatch.setenv(VAR, "-1")
+        with pytest.raises(UsageError, match=rf"{VAR} must be >= 0"):
+            env_int(VAR, minimum=0)
+        monkeypatch.setenv(VAR, "0")
+        assert env_int(VAR, minimum=0) == 0
+
+    def test_usage_error_is_value_error(self, monkeypatch):
+        # Existing `except ValueError` CLI guards must keep catching these.
+        monkeypatch.setenv(VAR, "x")
+        with pytest.raises(ValueError):
+            env_int(VAR)
+
+
+class TestEnvFloat:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv(VAR, "2.5")
+        assert env_float(VAR) == 2.5
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(VAR, "fast")
+        with pytest.raises(UsageError, match=rf"{VAR} must be a number.*'fast'"):
+            env_float(VAR)
+
+    def test_nan_rejected(self, monkeypatch):
+        monkeypatch.setenv(VAR, "nan")
+        with pytest.raises(UsageError, match="must be a number"):
+            env_float(VAR)
+
+    def test_exclusive_minimum(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        with pytest.raises(UsageError, match=rf"{VAR} must be > 0"):
+            env_float(VAR, exclusive_minimum=0.0)
+        monkeypatch.setenv(VAR, "0.001")
+        assert env_float(VAR, exclusive_minimum=0.0) == 0.001
+
+    def test_minimum(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0.5")
+        with pytest.raises(UsageError, match="must be >= 1"):
+            env_float(VAR, minimum=1.0)
+
+
+class TestWiredKnobs:
+    """The production knobs actually route through the validators."""
+
+    def test_timeout_knob(self, monkeypatch):
+        from repro.faults import ENV_TIMEOUT, default_timeout
+
+        monkeypatch.setenv(ENV_TIMEOUT, "banana")
+        with pytest.raises(UsageError, match="TASKBENCH_TIMEOUT must be a number"):
+            default_timeout()
+
+    def test_max_retries_knob(self, monkeypatch):
+        from repro.faults import ENV_MAX_RETRIES, default_max_retries
+
+        monkeypatch.setenv(ENV_MAX_RETRIES, "-2")
+        with pytest.raises(UsageError, match="TASKBENCH_MAX_RETRIES must be >= 0"):
+            default_max_retries()
+
+    def test_peak_flops_knob(self, monkeypatch):
+        import repro.metg.runners as runners
+
+        monkeypatch.setattr(runners, "_PEAK_PER_CORE", None)
+        monkeypatch.setenv(runners.PEAK_FLOPS_ENV, "not-a-rate")
+        with pytest.raises(UsageError, match="TASKBENCH_PEAK_FLOPS must be a number"):
+            runners.peak_flops_per_core()
+
+    def test_serve_knobs(self, monkeypatch):
+        from repro.serve import ServeConfig
+
+        monkeypatch.setenv("TASKBENCH_SERVE_QUEUE", "lots")
+        with pytest.raises(UsageError,
+                           match="TASKBENCH_SERVE_QUEUE must be an integer"):
+            ServeConfig.from_env()
+        monkeypatch.delenv("TASKBENCH_SERVE_QUEUE")
+        monkeypatch.setenv("TASKBENCH_SERVE_DEADLINE", "0")
+        with pytest.raises(UsageError,
+                           match="TASKBENCH_SERVE_DEADLINE must be > 0"):
+            ServeConfig.from_env()
+        monkeypatch.setenv("TASKBENCH_SERVE_DEADLINE", "2.5")
+        monkeypatch.setenv("TASKBENCH_SERVE_JOBS", "3")
+        config = ServeConfig.from_env()
+        assert config.deadline == 2.5
+        assert config.max_jobs == 3
+
+    def test_serve_env_overridden_by_kwargs(self, monkeypatch):
+        from repro.serve import ServeConfig
+
+        monkeypatch.setenv("TASKBENCH_SERVE_JOBS", "3")
+        config = ServeConfig.from_env(max_jobs=5)
+        assert config.max_jobs == 5
+
+    def test_cli_exit_code_2_on_bad_env(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("TASKBENCH_TIMEOUT", "soon")
+        code = main(["-steps", "2", "-width", "2", "-type", "trivial",
+                     "-runtime", "processes", "-workers", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "TASKBENCH_TIMEOUT" in err
+        assert "Traceback" not in err

@@ -1,0 +1,530 @@
+"""Tests for repro.serve — the benchmark-as-a-service daemon.
+
+Covers the protocol layer (framing + request validation), the result
+cache and single-flight coalescing, the warm executor pool (LRU / TTL /
+heal-on-checkout), and the daemon lifecycle: concurrent clients,
+duplicate-submission coalescing, BUSY backpressure at queue capacity,
+per-job deadline kills, DRAIN semantics, and SIGTERM shutdown of the
+real CLI daemon.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    ResultCache,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    Server,
+    WarmPool,
+    cell_fingerprint,
+)
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+from repro.suite.spec import Cell, SpecError, validate_cell
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+#: compute_bound iterations giving roughly this long a single task on the
+#: test host (calibrated coarsely; tests only need "fast" vs "slow").
+FAST_ITERS = 2_000
+SLOW_ITERS = 1_500_000  # ~1s of kernel work: a wide-enough race window
+
+
+def make_cell(**overrides) -> dict:
+    cell = {
+        "runtime": "serial", "pattern": "trivial", "width": 2, "steps": 2,
+        "payload_bytes": 16, "metric": "run", "iterations": FAST_ITERS,
+    }
+    cell.update(overrides)
+    return cell
+
+
+@pytest.fixture
+def serve_factory():
+    """Builds started servers on short-lived UDS paths; closes them all."""
+    servers = []
+    tmp = tempfile.mkdtemp(prefix="tb-serve-")
+
+    def make(**kw) -> Server:
+        kw.setdefault("address", os.path.join(tmp, f"s{len(servers)}.sock"))
+        srv = Server(ServeConfig(**kw))
+        srv.start()
+        servers.append(srv)
+        return srv
+
+    yield make
+    for srv in servers:
+        srv.close()
+
+
+def wait_for_state(client: ServeClient, job: str, state: str,
+                   timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.status(job)["state"] == state:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"job {job} never reached state {state!r}")
+
+
+# ---------------------------------------------------------------------------
+# Protocol: framing + request validation
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            body = {"verb": "STATUS", "job": "j000001", "n": [1, 2, 3]}
+            protocol.send_frame(a, body)
+            assert protocol.recv_frame(b) == body
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert protocol.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(protocol.LEN_STRUCT.pack(100) + b"{")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(protocol.LEN_STRUCT.pack(protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_body_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"[1,2]"
+            a.sendall(protocol.LEN_STRUCT.pack(len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize("body,message", [
+        ({}, "unknown verb"),
+        ({"verb": "NUKE"}, "unknown verb"),
+        ({"verb": "SUBMIT"}, "requires field 'cell'"),
+        ({"verb": "SUBMIT", "cell": 3}, "field 'cell' must be dict"),
+        ({"verb": "STATUS"}, "requires field 'job'"),
+        ({"verb": "STATUS", "job": 7}, "field 'job' must be str"),
+        ({"verb": "RESULT", "job": "j1", "timeout": "soon"},
+         "field 'timeout' must be int or float"),
+        ({"verb": "STATS", "extra": 1}, "does not accept field 'extra'"),
+    ])
+    def test_request_validation_matrix(self, body, message):
+        with pytest.raises(ProtocolError, match=message):
+            protocol.validate_request(body)
+
+    def test_valid_requests_pass(self):
+        assert protocol.validate_request({"verb": "STATS"}) == "STATS"
+        assert protocol.validate_request(
+            {"verb": "RESULT", "job": "j1", "timeout": 5}
+        ) == "RESULT"
+
+
+# ---------------------------------------------------------------------------
+# Cell validation (server-side SUBMIT hygiene)
+# ---------------------------------------------------------------------------
+class TestValidateCell:
+    def test_good_cell(self):
+        validate_cell(Cell(**make_cell()))
+
+    @pytest.mark.parametrize("overrides,message", [
+        ({"runtime": "slurm"}, "unknown runtime"),
+        ({"runtime": "sim:hadoop"}, "unknown simulated system"),
+        ({"pattern": "donut"}, "donut"),
+        ({"metric": "vibes"}, "unknown metric"),
+        ({"width": 0}, "width"),
+        ({"steps": -1}, "steps"),
+        ({"payload_bytes": -8}, "payload_bytes"),
+        ({"workers": 0}, "workers"),
+        ({"target": 1.5}, "target"),
+        ({"timeout": 0.0}, "timeout"),
+    ])
+    def test_bad_cells(self, overrides, message):
+        with pytest.raises(SpecError, match=message):
+            validate_cell(Cell(**make_cell(**overrides)))
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint + result cache + single flight
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_fingerprint_covers_every_parameter(self):
+        base = Cell(**make_cell())
+        assert cell_fingerprint(base) == cell_fingerprint(Cell(**make_cell()))
+        for overrides in ({"width": 3}, {"iterations": 999},
+                          {"workers": 3}, {"kernel": "memory_bound"},
+                          {"metric": "metg"}, {"target": 0.75}):
+            other = Cell(**make_cell(**overrides))
+            assert cell_fingerprint(other) != cell_fingerprint(base)
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        for i in range(3):
+            assert cache.put(f"f{i}", {"status": "ok", "i": i})
+        assert cache.get("f0") is None  # evicted
+        assert cache.get("f2")["i"] == 2
+
+    def test_get_freshens(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"status": "ok"})
+        cache.put("b", {"status": "ok"})
+        cache.get("a")  # a is now most recent
+        cache.put("c", {"status": "ok"})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_failed_records_never_cached(self):
+        cache = ResultCache()
+        assert not cache.put("f", {"status": "failed", "error": "boom"})
+        assert cache.get("f") is None
+        assert cache.put("u", {"status": "unachievable"})
+
+    def test_single_flight_table(self):
+        cache = ResultCache()
+        assert cache.lookup_inflight("f") is None
+        cache.enter_inflight("f", "j1")
+        assert cache.lookup_inflight("f") == "j1"
+        cache.leave_inflight("f", "j2")  # not the leader: no-op
+        assert cache.lookup_inflight("f") == "j1"
+        cache.leave_inflight("f", "j1")
+        assert cache.lookup_inflight("f") is None
+
+
+# ---------------------------------------------------------------------------
+# Warm pool + executor healing
+# ---------------------------------------------------------------------------
+class TestWarmPool:
+    def test_cold_then_warm(self):
+        pool = WarmPool(capacity=2, ttl_seconds=60.0)
+        try:
+            ex1, warm = pool.checkout("serial", 1)
+            assert not warm
+            pool.checkin("serial", 1, None, ex1)
+            ex2, warm = pool.checkout("serial", 1)
+            assert warm
+            assert ex2 is ex1
+            assert pool.stats["warm_hits"] == 1
+            assert pool.stats["cold_builds"] == 1
+        finally:
+            pool.close()
+
+    def test_key_includes_workers(self):
+        pool = WarmPool(capacity=4, ttl_seconds=60.0)
+        try:
+            ex1, _ = pool.checkout("threads", 2)
+            pool.checkin("threads", 2, None, ex1)
+            _, warm = pool.checkout("threads", 3)
+            assert not warm  # different worker count: different executor
+        finally:
+            pool.close()
+
+    def test_lru_eviction(self):
+        pool = WarmPool(capacity=1, ttl_seconds=60.0)
+        try:
+            ex_a, _ = pool.checkout("serial", 1)
+            ex_b, _ = pool.checkout("threads", 2)
+            pool.checkin("serial", 1, None, ex_a)
+            pool.checkin("threads", 2, None, ex_b)  # evicts serial
+            assert len(pool) == 1
+            _, warm = pool.checkout("serial", 1)
+            assert not warm
+            assert pool.stats["lru_evictions"] == 1
+        finally:
+            pool.close()
+
+    def test_ttl_expiry(self):
+        pool = WarmPool(capacity=2, ttl_seconds=0.05)
+        try:
+            ex1, _ = pool.checkout("serial", 1)
+            pool.checkin("serial", 1, None, ex1)
+            time.sleep(0.1)
+            _, warm = pool.checkout("serial", 1)
+            assert not warm
+            assert pool.stats["ttl_evictions"] == 1
+        finally:
+            pool.close()
+
+    def test_heal_on_checkout_after_worker_kill(self):
+        """A cached fork-pool executor whose worker was SIGKILLed while
+        idle is healed on checkout, not handed out broken."""
+        pool = WarmPool(capacity=2, ttl_seconds=60.0)
+        try:
+            executor, _ = pool.checkout("processes", 2)
+            graphs = Cell(**make_cell(runtime="processes")).graphs()
+            executor.run(graphs, validate=False)  # forks the workers
+            pool.checkin("processes", 2, None, executor)
+            victim = executor._procs._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(5.0)
+            healed, warm = pool.checkout("processes", 2)
+            assert warm and healed is executor
+            assert pool.stats["heals"] >= 1
+            healed.run(graphs, validate=False)  # healthy again
+        finally:
+            pool.close()
+
+    def test_executor_heal_contract(self):
+        from repro.runtimes.registry import make_executor
+
+        serial = make_executor("serial")
+        assert serial.heal() == 0  # no out-of-process state: always healthy
+        procs = make_executor("processes", workers=2)
+        try:
+            assert procs.heal() == 0  # lazy pool: nothing to heal yet
+            graphs = Cell(**make_cell(runtime="processes")).graphs()
+            procs.run(graphs, validate=False)
+            victim = procs._procs._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(5.0)
+            assert procs.heal() == 1
+            procs.run(graphs, validate=False)
+        finally:
+            procs.close()
+
+
+# ---------------------------------------------------------------------------
+# Daemon lifecycle
+# ---------------------------------------------------------------------------
+class TestServer:
+    def test_submit_result_and_cache_hit(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            first = client.submit(make_cell())
+            assert first["state"] in ("queued", "running", "done")
+            record = client.result(first["job"], timeout=30)
+            assert record["status"] == "ok"
+            assert record["measurements"]["elapsed_seconds"] > 0
+            # Identical resubmission answers from the cache, instantly.
+            second = client.submit(make_cell())
+            assert second["cached"] is True
+            assert second["state"] == "done"
+            assert client.result(second["job"], timeout=5) == record
+            stats = client.stats()
+            assert stats["cache"]["hits"] == 1
+            assert stats["jobs"]["admitted"] == 1
+
+    def test_distinct_cells_do_not_coalesce(self, serve_factory):
+        srv = serve_factory(max_jobs=2)
+        with ServeClient(srv.config.address) as client:
+            a = client.submit(make_cell(iterations=FAST_ITERS))
+            b = client.submit(make_cell(iterations=FAST_ITERS + 1))
+            assert a["job"] != b["job"]
+            assert client.result(a["job"], timeout=30)["status"] == "ok"
+            assert client.result(b["job"], timeout=30)["status"] == "ok"
+
+    def test_concurrent_duplicates_coalesce_to_one_execution(
+        self, serve_factory
+    ):
+        """The acceptance-criteria test: N concurrent identical
+        submissions run once — one admitted job, one record, N-1
+        coalesced joins."""
+        srv = serve_factory(max_jobs=1)
+        cell = make_cell(iterations=SLOW_ITERS)
+        ids, records, errors = [], [], []
+
+        def one_client():
+            try:
+                with ServeClient(srv.config.address) as client:
+                    summary = client.submit(cell)
+                    ids.append(summary["job"])
+                    records.append(
+                        client.result(summary["job"], timeout=60)
+                    )
+            except Exception as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        clients = [threading.Thread(target=one_client) for _ in range(4)]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join(timeout=90)
+        assert not errors
+        assert len(set(ids)) == 1, f"expected one shared job, got {ids}"
+        assert all(r["status"] == "ok" for r in records)
+        with ServeClient(srv.config.address) as client:
+            stats = client.stats()
+        assert stats["jobs"]["admitted"] == 1
+        assert stats["cache"]["coalesced"] == 3
+
+    def test_busy_backpressure_at_queue_capacity(self, serve_factory):
+        srv = serve_factory(max_jobs=1, queue_size=1)
+        with ServeClient(srv.config.address) as client:
+            running = client.submit(make_cell(iterations=SLOW_ITERS))
+            wait_for_state(client, running["job"], "running")
+            queued = client.submit(
+                make_cell(iterations=SLOW_ITERS + 1)
+            )
+            assert queued["state"] == "queued"
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(make_cell(iterations=SLOW_ITERS + 2))
+            assert excinfo.value.code == "BUSY"
+            # Backpressure is not failure: both accepted jobs complete.
+            assert client.result(running["job"], timeout=60)["status"] == "ok"
+            assert client.result(queued["job"], timeout=60)["status"] == "ok"
+            assert client.stats()["rejections"]["busy"] == 1
+
+    def test_invalid_submissions_rejected(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            for bad in (
+                make_cell(runtime="slurm"),
+                make_cell(width=0),
+                dict(make_cell(), flux_capacitor=1),
+            ):
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit(bad)
+                assert excinfo.value.code == "INVALID"
+            assert client.stats()["rejections"]["invalid"] == 3
+
+    def test_status_unknown_job(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.status("j999999")
+            assert excinfo.value.code == "UNKNOWN_JOB"
+
+    def test_result_timeout(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            slow = client.submit(make_cell(iterations=SLOW_ITERS))
+            with pytest.raises(ServeError) as excinfo:
+                client.result(slow["job"], timeout=0.05)
+            assert excinfo.value.code == "TIMEOUT"
+            assert client.result(slow["job"], timeout=60)["status"] == "ok"
+
+    def test_deadline_kill_frees_the_daemon(self, serve_factory):
+        """A job that blows its deadline is killed (worker processes
+        reaped), concluded as failed, and the daemon keeps serving."""
+        srv = serve_factory(max_jobs=1, deadline=0.6)
+        with ServeClient(srv.config.address) as client:
+            stuck = client.submit(
+                make_cell(runtime="processes", workers=2, width=1, steps=1,
+                          iterations=30_000_000)
+            )
+            record = client.result(stuck["job"], timeout=30)
+            assert record["status"] == "failed"
+            assert "deadline exceeded" in record["error"]
+            stats = client.stats()
+            assert stats["jobs"]["deadline_kills"] == 1
+            # The daemon is still healthy: a fast follow-up completes.
+            quick = client.run(make_cell(), timeout=30)
+            assert quick["status"] == "ok"
+
+    def test_drain_semantics(self, serve_factory):
+        """DRAIN finishes accepted jobs, rejects new ones, then quiesces."""
+        srv = serve_factory(max_jobs=1)
+        with ServeClient(srv.config.address) as client:
+            accepted = client.submit(make_cell(iterations=SLOW_ITERS))
+            wait_for_state(client, accepted["job"], "running")
+            client.drain()
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(make_cell(iterations=FAST_ITERS + 7))
+            assert excinfo.value.code == "DRAINING"
+            # The accepted job still runs to a real record.
+            assert (
+                client.result(accepted["job"], timeout=60)["status"] == "ok"
+            )
+        assert srv.wait(timeout=30), "daemon never quiesced after drain"
+
+    def test_warm_pool_heal_after_crash_end_to_end(self, serve_factory):
+        """SIGKILL a cached warm worker between requests: the next
+        submission heals the pool instead of failing."""
+        srv = serve_factory(max_jobs=1)
+        cell = make_cell(runtime="processes", workers=2)
+        with ServeClient(srv.config.address) as client:
+            assert client.run(cell, timeout=60)["status"] == "ok"
+            # Reach into the pool and murder a cached fork worker.
+            (executor, _stamp), = srv._pool._entries.values()
+            victim = executor._procs._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(5.0)
+            again = client.run(
+                dict(cell, iterations=FAST_ITERS + 13), timeout=60
+            )
+            assert again["status"] == "ok"
+            pool_stats = client.stats()["warm_pool"]
+            assert pool_stats["heals"] >= 1
+            assert pool_stats["warm_hits"] >= 1
+
+    def test_stats_latency_percentiles(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            client.run(make_cell(), timeout=30)
+            stats = client.stats()
+            assert "SUBMIT" in stats["latency"]
+            submit = stats["latency"]["SUBMIT"]
+            assert submit["p50_seconds"] <= submit["p99_seconds"]
+
+    def test_simulated_cells_served(self, serve_factory):
+        srv = serve_factory()
+        with ServeClient(srv.config.address) as client:
+            record = client.run(
+                make_cell(runtime="sim:mpi_p2p", workers=1), timeout=30
+            )
+            assert record["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# The real CLI daemon under SIGTERM
+# ---------------------------------------------------------------------------
+class TestCliDaemon:
+    def test_sigterm_drains_and_exits(self, tmp_path):
+        sock = os.path.join(
+            tempfile.mkdtemp(prefix="tb-cli-"), "serve.sock"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--socket", sock],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while not os.path.exists(sock):
+                assert daemon.poll() is None, daemon.stdout.read().decode()
+                assert time.monotonic() < deadline, "daemon never bound"
+                time.sleep(0.05)
+            with ServeClient(sock) as client:
+                assert client.run(make_cell(), timeout=30)["status"] == "ok"
+            daemon.send_signal(signal.SIGTERM)
+            assert daemon.wait(timeout=30) == 0
+            assert not os.path.exists(sock), "socket file leaked"
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)

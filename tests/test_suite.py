@@ -40,6 +40,7 @@ from repro.suite.scheduler import (
     admissible,
     cell_cost,
     cell_isolation,
+    claim_for_cell,
 )
 from repro.suite.store import TERMINAL_STATUSES
 
@@ -349,8 +350,7 @@ class TestAggregation:
 # Admission control
 # ---------------------------------------------------------------------------
 def running_job(cell: Cell) -> _Job:
-    return _Job(cell=cell, proc=None, cost=cell_cost(cell),
-                isolation=cell_isolation(cell), started=0.0)
+    return _Job(cell=cell, proc=None, claim=claim_for_cell(cell), started=0.0)
 
 
 class TestAdmission:
