@@ -1,0 +1,201 @@
+"""Per-task harness overhead A/B: the fast path on vs off (PR 10).
+
+The paper's METG floor on every system is set by per-task *runtime*
+overhead, and in this reproduction the hottest non-kernel code used to be
+Python interval math (dependence queries per task) and per-input byte
+materialization (validation).  :mod:`repro.core.fastpath` replaces both
+with precompiled tables and memoized NumPy comparisons, and the process
+executors add batched round dispatch.  This bench measures the empty-kernel
+per-task overhead and the METG(50%) floor with the fast path on and off,
+records the A/B into ``results/hotpath.json``, and asserts the PR's
+headline claim: **at least 2x lower empty-kernel per-task overhead** on the
+threads and shm_processes executors.
+
+Run as a pytest module (full A/B, writes the results record) or as a
+script::
+
+    python benchmarks/bench_hotpath.py --smoke [--baseline results/hotpath.json]
+
+The ``--smoke`` mode is the CI perf leg: a quick overhead measurement that
+fails if the fast-path per-task overhead regressed more than 25% against
+the committed baseline record.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.core import DependenceType, Kernel, KernelType, TaskGraph
+from repro.core import fastpath
+from repro.metg import RealRunner, compute_workload, metg
+from repro.runtimes import make_executor
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: Executors named by the PR's acceptance criterion.
+RUNTIMES = ("threads", "shm_processes")
+
+#: CI regression tolerance for --smoke (fractional).
+SMOKE_TOLERANCE = 0.25
+
+
+def _graph(steps: int, width: int) -> TaskGraph:
+    return TaskGraph(
+        timesteps=steps,
+        max_width=width,
+        dependence=DependenceType.STENCIL_1D,
+        kernel=Kernel(kernel_type=KernelType.EMPTY),
+        output_bytes_per_task=16,
+    )
+
+
+def measure_overhead(
+    runtime: str, *, steps: int = 200, width: int = 8, repeats: int = 5
+) -> float:
+    """Best-of-``repeats`` empty-kernel wall time per task (seconds).
+
+    With an EMPTY kernel every microsecond is harness: dependence queries,
+    validation, buffer routing, dispatch.  The executor persists across
+    repeats so pools and caches are warm (the regime METG measures).
+    Width 8 gives the batch paths enough ready peers per timestep to
+    amortize their per-batch fixed costs while staying in the fine-grained
+    regime the METG floor cares about.
+    """
+    ex = make_executor(runtime, workers=2)
+    try:
+        g = _graph(steps, width)
+        ntasks = g.total_tasks()
+        ex.run([g])  # warmup: fork pools, compile tables, prime caches
+        best = min(
+            _timed(ex, g) for _ in range(repeats)
+        )
+        return best / ntasks
+    finally:
+        getattr(ex, "close", lambda: None)()
+
+
+def _timed(ex, g) -> float:
+    start = time.perf_counter()
+    ex.run([g])
+    return time.perf_counter() - start
+
+
+def _ab(fn, *args, **kwargs):
+    """Run ``fn`` with the fast path on and off; returns (on, off)."""
+    prev = fastpath.set_enabled(True)
+    try:
+        on = fn(*args, **kwargs)
+        fastpath.set_enabled(False)
+        off = fn(*args, **kwargs)
+    finally:
+        fastpath.set_enabled(prev)
+    return on, off
+
+
+def measure_metg_floor(runtime: str, *, steps: int = 50) -> float:
+    """METG(50%) in microseconds for the standard compute workload.
+
+    Measured at one worker: the efficiency reference is ``per-core peak x
+    worker count``, so a multi-worker pool on a host with fewer physical
+    cores caps below the 50% target and the crossing search diverges.
+    One worker keeps the floor comparable across hosts (and matches the
+    ``metg_smoke`` convention in ``results/shm_dataplane.json``).
+    """
+    ex = make_executor(runtime, workers=1)
+    try:
+        runner = RealRunner(ex)
+        res = metg(runner, compute_workload(runner.worker_width, steps=steps))
+        return res.metg_microseconds
+    finally:
+        getattr(ex, "close", lambda: None)()
+
+
+def collect(*, smoke: bool = False) -> dict:
+    """The full A/B record (overhead always; METG floors unless smoke)."""
+    record = {"runtimes": {}, "smoke": smoke}
+    steps, repeats = (60, 3) if smoke else (200, 5)
+    for runtime in RUNTIMES:
+        on, off = _ab(measure_overhead, runtime, steps=steps, repeats=repeats)
+        entry = {
+            "overhead_us_fastpath_on": on * 1e6,
+            "overhead_us_fastpath_off": off * 1e6,
+            "overhead_speedup": off / on,
+        }
+        if not smoke:
+            m_on, m_off = _ab(measure_metg_floor, runtime)
+            entry["metg_us_fastpath_on"] = m_on
+            entry["metg_us_fastpath_off"] = m_off
+            entry["metg_speedup"] = m_off / m_on
+        record["runtimes"][runtime] = entry
+    return record
+
+
+def test_hotpath_overhead_halved(benchmark):
+    """PR 10 acceptance: >= 2x lower empty-kernel per-task overhead with
+    the fast path on, on threads and shm_processes; record the A/B."""
+    record = benchmark.pedantic(collect, rounds=1, iterations=1)
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "hotpath.json").write_text(json.dumps(record, indent=2) + "\n")
+    lines = []
+    for runtime, e in record["runtimes"].items():
+        lines.append(
+            f"{runtime}: {e['overhead_us_fastpath_off']:.1f} us/task -> "
+            f"{e['overhead_us_fastpath_on']:.1f} us/task "
+            f"({e['overhead_speedup']:.2f}x); METG(50%) "
+            f"{e['metg_us_fastpath_off']:.1f} -> "
+            f"{e['metg_us_fastpath_on']:.1f} us ({e['metg_speedup']:.2f}x)"
+        )
+    (RESULTS / "hotpath.txt").write_text("\n".join(lines) + "\n")
+    for runtime, e in record["runtimes"].items():
+        assert e["overhead_speedup"] >= 2.0, (
+            f"{runtime}: fast path gives only {e['overhead_speedup']:.2f}x "
+            f"lower per-task overhead (need >= 2x)"
+        )
+        # METG floors must not get worse; the drop is the headline but the
+        # crossing search is noisier than the raw overhead ratio.
+        assert e["metg_speedup"] > 0.9
+
+
+def _smoke_main(baseline_path: str | None) -> int:
+    record = collect(smoke=True)
+    print(json.dumps(record, indent=2))
+    failures = []
+    for runtime, e in record["runtimes"].items():
+        if e["overhead_speedup"] < 1.2:
+            failures.append(
+                f"{runtime}: fast path speedup {e['overhead_speedup']:.2f}x "
+                "< 1.2x smoke floor"
+            )
+    if baseline_path:
+        base = json.loads(pathlib.Path(baseline_path).read_text())
+        for runtime, e in record["runtimes"].items():
+            ref = base["runtimes"].get(runtime)
+            if ref is None:
+                continue
+            measured = e["overhead_us_fastpath_on"]
+            committed = ref["overhead_us_fastpath_on"]
+            if measured > committed * (1.0 + SMOKE_TOLERANCE):
+                failures.append(
+                    f"{runtime}: fast-path overhead {measured:.1f} us/task "
+                    f"regressed > {SMOKE_TOLERANCE:.0%} vs committed "
+                    f"baseline {committed:.1f} us/task"
+                )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("hotpath smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: overhead A/B only")
+    parser.add_argument("--baseline", default=None,
+                        help="committed hotpath.json to regress against")
+    opts = parser.parse_args()
+    if not opts.smoke:
+        parser.error("run under pytest for the full A/B, or pass --smoke")
+    raise SystemExit(_smoke_main(opts.baseline))

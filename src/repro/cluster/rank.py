@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import fastpath as _fastpath
 from ..core.task_graph import TaskGraph
 from ..faults import FaultSpec, apply_fault
 from ..trace import recorder as trace
@@ -47,6 +48,9 @@ from .wire import Tag, encode_trace
 
 #: Local payload key: (graph_index, timestep, column).
 Key = Tuple[int, int, int]
+
+#: Per-timestep send coalescing buffer: dest rank -> [(key, payload), ...].
+Outbatch = Dict[int, List[Tuple[Key, np.ndarray]]]
 
 
 def block_owner(column: int, width: int, ranks: int) -> int:
@@ -167,6 +171,14 @@ class RankDriver:
         remote = _RefStore("remote")
         captured: Dict[Key, bytes] = {}
         max_t = max(g.timesteps for g in graphs)
+        # Fast path: coalesce this timestep's sends to each peer into one
+        # DATA_BATCH frame, posted at the timestep boundary.  Safe because
+        # dependencies only span consecutive timesteps — a consumer rank
+        # first needs a timestep-t output while running timestep t+1, by
+        # which time the producer has flushed t.  Deadlock-free for the
+        # same reason: no rank waits on a message its peer is still
+        # buffering for the timestep both are currently in.
+        outbatch: Optional[Outbatch] = {} if _fastpath.enabled() else None
         for t in range(max_t):
             if fault is not None and t == fault.round_index:
                 apply_fault(fault)  # crash/wedge never return
@@ -180,9 +192,13 @@ class RankDriver:
                     if block_owner(i, g.max_width, self.nranks) != self.rank:
                         continue
                     self._run_task(
-                        g, t, i, epoch, local, remote, captured,
+                        g, t, i, epoch, local, remote, captured, outbatch,
                         validate=validate, capture=capture,
                     )
+            if outbatch:
+                for dest, items in outbatch.items():
+                    self.endpoint.post_batch(dest, epoch, items)
+                outbatch.clear()
         local.assert_drained()
         remote.assert_drained()
         stray = self.endpoint.pending(epoch)
@@ -202,6 +218,7 @@ class RankDriver:
         local: _RefStore,
         remote: _RefStore,
         captured: Dict[Key, bytes],
+        outbatch: Optional[Outbatch],
         *,
         validate: bool,
         capture: bool,
@@ -222,7 +239,9 @@ class RankDriver:
             trace.complete(
                 "task", trace.CAT_KERNEL, t0, {"task": (g.graph_index, t, i)}
             )
-        self._deliver(g, t, i, epoch, out, local, captured, capture=capture)
+        self._deliver(
+            g, t, i, epoch, out, local, captured, outbatch, capture=capture
+        )
 
     def _claim_remote(
         self, g: TaskGraph, epoch: int, key: Key, remote: _RefStore
@@ -258,6 +277,7 @@ class RankDriver:
         out: np.ndarray,
         local: _RefStore,
         captured: Dict[Key, bytes],
+        outbatch: Optional[Outbatch],
         *,
         capture: bool,
     ) -> None:
@@ -274,6 +294,10 @@ class RankDriver:
         for dest, consumers in per_rank.items():
             if dest == self.rank:
                 local.put(key, out, consumers)
+            elif outbatch is not None:
+                # Fast path: park the send; run_epoch flushes every peer's
+                # batch in one frame at the end of the timestep.
+                outbatch.setdefault(dest, []).append((key, out))
             else:
                 self.endpoint.post(dest, (epoch, *key), out)
         if t0:

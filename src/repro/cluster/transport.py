@@ -39,6 +39,7 @@ from ..trace import recorder as trace
 from .wire import (
     LEN_STRUCT,
     MAX_FRAME_BYTES,
+    MSG_DATA_BATCH,
     MSG_HELLO,
     MSG_TRACE,
     Tag,
@@ -46,6 +47,7 @@ from .wire import (
     WireError,
     decode,
     encode_data,
+    encode_data_batch,
     encode_hello,
 )
 
@@ -189,7 +191,12 @@ class _Peer:
         self.fsock = fsock
         self._endpoint = endpoint
         self._cond = threading.Condition()
-        self._outbox: Deque[Tuple[bytes, memoryview]] = collections.deque()
+        # Each entry is (frame parts, payloads-batched count): a plain DATA
+        # frame is ((header, payload), 0); a DATA_BATCH frame is
+        # ((header, view0, view1, ...), n).
+        self._outbox: Deque[Tuple[Tuple["bytes | memoryview", ...], int]] = (
+            collections.deque()
+        )
         self._sending = False
         self.closing = False
         self._sender = threading.Thread(
@@ -204,10 +211,17 @@ class _Peer:
     # -- sending -------------------------------------------------------
     def post(self, header: bytes, payload: memoryview) -> None:
         """Queue one encoded frame; never blocks on the socket."""
+        self.post_parts((header, payload), batched=0)
+
+    def post_parts(
+        self, parts: Tuple["bytes | memoryview", ...], batched: int
+    ) -> None:
+        """Queue one frame of arbitrary scatter parts (``batched`` counts
+        the payloads riding in it when it is a DATA_BATCH frame)."""
         with self._cond:
             if self.closing:
                 raise TransportError(f"peer {self.rank} endpoint is closing")
-            self._outbox.append((header, payload))
+            self._outbox.append((parts, batched))
             self._cond.notify_all()
 
     def _send_loop(self) -> None:
@@ -217,14 +231,14 @@ class _Peer:
                     self._cond.wait()
                 if not self._outbox:
                     return  # closing and drained
-                header, payload = self._outbox.popleft()
+                parts, batched = self._outbox.popleft()
                 self._sending = True
             try:
                 t0 = trace.begin() if trace.enabled else 0
                 start = time.perf_counter()
-                nbytes = self.fsock.send_frame(header, payload)
+                nbytes = self.fsock.send_frame(*parts)
                 self._endpoint.counters.count_sent(
-                    nbytes, time.perf_counter() - start
+                    nbytes, time.perf_counter() - start, batched
                 )
                 if t0:
                     trace.complete(
@@ -300,11 +314,19 @@ class _Peer:
                     )
                 )
                 return
-            tag, payload = decoded  # type: ignore[misc]
-            self._endpoint.counters.count_received(
-                len(frame), time.perf_counter() - start
-            )
-            self._endpoint.deliver(tag, payload)
+            if decoded[0] == MSG_DATA_BATCH:
+                items = decoded[1]
+                self._endpoint.counters.count_received(
+                    len(frame), time.perf_counter() - start, len(items)
+                )
+                for tag, payload in items:
+                    self._endpoint.deliver(tag, payload)
+            else:
+                tag, payload = decoded  # type: ignore[misc]
+                self._endpoint.counters.count_received(
+                    len(frame), time.perf_counter() - start
+                )
+                self._endpoint.deliver(tag, payload)
             if t0:
                 trace.complete(
                     "wire.recv", trace.CAT_WIRE, t0,
@@ -393,6 +415,32 @@ class Endpoint:
         header, view = encode_data(tag, payload)
         self.counters.count_serialize(time.perf_counter() - start)
         self._peers[dest].post(header, view)
+
+    def post_batch(
+        self,
+        dest: int,
+        epoch: int,
+        items: "List[Tuple[Tuple[int, int, int], np.ndarray]]",
+    ) -> None:
+        """Non-blocking send of several task outputs to rank ``dest`` in a
+        single DATA_BATCH frame.
+
+        ``items`` pairs ``(graph_index, timestep, column)`` keys with
+        payloads; the receiver files each under its full tag exactly as if
+        it had arrived in its own DATA frame.  A single-item batch
+        degrades to a plain :meth:`post` so the wire never carries batch
+        overhead for unbatchable traffic.
+        """
+        if not items:
+            return
+        if len(items) == 1:
+            (key, payload) = items[0]
+            self.post(dest, (epoch, *key), payload)
+            return
+        start = time.perf_counter()
+        header, views = encode_data_batch(epoch, items)
+        self.counters.count_serialize(time.perf_counter() - start)
+        self._peers[dest].post_parts((header, *views), batched=len(items))
 
     def deliver(self, tag: Tag, payload: np.ndarray) -> None:
         """Receiver-thread entry: file one decoded message under its tag."""

@@ -20,9 +20,11 @@ as a :class:`~repro.core.validation.ValidationError`.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import time
 from typing import Sequence
 
+from . import fastpath as _fastpath
 from .metrics import RunResult, summarize_graphs
 from .task_graph import TaskGraph
 
@@ -84,14 +86,25 @@ class Executor(abc.ABC):
                     "graph_index must equal the position in the list so task "
                     "outputs are globally unique"
                 )
+        hits0, compiles0 = _fastpath.counters()
         start = time.perf_counter()
         self.execute_graphs(graphs, validate=validate)
         elapsed = time.perf_counter() - start
+        hits1, compiles1 = _fastpath.counters()
         # Executors that instrument their data plane (repro.core.bufpool)
         # or supervise worker faults leave stats records on the instance;
         # surface them in the result.
         stats = getattr(self, "_data_plane", None)
         faults = getattr(self, "_fault_stats", None)
+        if stats is not None and (hits1 != hits0 or compiles1 != compiles0):
+            # Fold this run's fast-path activity (parent-process view) into
+            # the data-plane record; executors without an instrumented data
+            # plane keep reporting "not instrumented".
+            stats = dataclasses.replace(
+                stats,
+                fastpath_hits=stats.fastpath_hits + (hits1 - hits0),
+                fastpath_compiles=stats.fastpath_compiles + (compiles1 - compiles0),
+            )
         return summarize_graphs(
             self.name, graphs, elapsed, self.cores, validated=validate,
             data_plane=stats, faults=faults,

@@ -25,6 +25,7 @@ reproduction provides NumPy equivalents with the same *semantics*:
 from __future__ import annotations
 
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -175,31 +176,67 @@ class Kernel:
         raise AssertionError(f"unhandled kernel type {kt}")  # pragma: no cover
 
 
+#: Per-thread reusable accumulator/temporary vectors for the compute
+#: kernels.  The kernels historically allocated three fresh 64-wide arrays
+#: *per iteration* (``a * a`` and ``+ a`` each allocate, plus the initial
+#: ``np.full``), which showed up as per-task allocator traffic on the
+#: empty-ish hot path; the semantics only need the values, so each thread
+#: keeps one set of buffers and the loop runs through ``out=`` ufuncs.
+_kernel_tls = threading.local()
+
+
+def _kernel_buffers() -> tuple:
+    bufs = getattr(_kernel_tls, "bufs", None)
+    if bufs is None:
+        bufs = (
+            np.empty(KERNEL_VECTOR_WIDTH),
+            np.empty(KERNEL_VECTOR_WIDTH),
+            np.empty(KERNEL_VECTOR_WIDTH),
+            np.empty(KERNEL_VECTOR_WIDTH),
+        )
+        _kernel_tls.bufs = bufs
+    return bufs
+
+
 def execute_kernel_compute(iterations: int) -> np.ndarray:
     """Dependent FMA loop over a 64-wide vector (Listing 1 of the paper).
 
     Each iteration reads the previous iteration's result, so the loop cannot
     be collapsed; duration is strictly proportional to ``iterations``.
+
+    Returns the live per-thread accumulator (valid until this thread's next
+    kernel call) — callers wanting to keep the values must copy.
     """
-    a = np.full(KERNEL_VECTOR_WIDTH, 1.2345)
+    a, _, tmp, _ = _kernel_buffers()
+    a[:] = 1.2345
     with np.errstate(over="ignore"):  # values saturate to inf by design
         for _ in range(iterations):
-            a = a * a + a
+            np.multiply(a, a, out=tmp)
+            np.add(tmp, a, out=a)
     return a
 
 
 def execute_kernel_compute2(iterations: int) -> np.ndarray:
     """Variant with two independent accumulator chains (official
-    COMPUTE_BOUND2), exposing a little instruction-level parallelism."""
-    a = np.full(KERNEL_VECTOR_WIDTH, 1.2345)
-    b = np.full(KERNEL_VECTOR_WIDTH, 1.0101)
+    COMPUTE_BOUND2), exposing a little instruction-level parallelism.
+
+    Returns the live per-thread result buffer (valid until this thread's
+    next kernel call) — callers wanting to keep the values must copy.
+    """
+    a, b, tmp, out = _kernel_buffers()
+    a[:] = 1.2345
+    b[:] = 1.0101
     with np.errstate(over="ignore"):
         for _ in range(iterations // 2):
-            a = a * a + a
-            b = b * b + b
+            np.multiply(a, a, out=tmp)
+            np.add(tmp, a, out=a)
+            np.multiply(b, b, out=tmp)
+            np.add(tmp, b, out=b)
         if iterations % 2:
-            a = a * a + a
-    return a + b
+            np.multiply(a, a, out=tmp)
+            np.add(tmp, a, out=a)
+    np.add(a, b, out=out)
+    return out
 
 
 def execute_kernel_memory(scratch: np.ndarray, iterations: int, span_bytes: int) -> None:

@@ -38,6 +38,11 @@ class WireStats:
     messages_received: int = 0
     serialize_seconds: float = 0.0
     deserialize_seconds: float = 0.0
+    #: Payloads that travelled inside multi-payload DATA_BATCH frames (the
+    #: fast path coalesces a timestep's per-peer sends into one frame; each
+    #: batch frame still counts once in ``messages_sent``/``_received``).
+    batched_payloads_sent: int = 0
+    batched_payloads_received: int = 0
 
     def merged(self, other: "WireStats") -> "WireStats":
         """Sum of two wire records (e.g. several ranks of one run)."""
@@ -50,17 +55,29 @@ class WireStats:
             deserialize_seconds=(
                 self.deserialize_seconds + other.deserialize_seconds
             ),
+            batched_payloads_sent=(
+                self.batched_payloads_sent + other.batched_payloads_sent
+            ),
+            batched_payloads_received=(
+                self.batched_payloads_received + other.batched_payloads_received
+            ),
         )
 
     def report_lines(self) -> List[str]:
         """Wire section of the uniform report."""
-        return [
+        lines = [
             f"Bytes On Wire {self.bytes_sent} sent / "
             f"{self.bytes_received} received "
             f"({self.messages_sent} / {self.messages_received} messages)",
             f"Wire Codec Time {self.serialize_seconds:e} s serialize, "
             f"{self.deserialize_seconds:e} s deserialize",
         ]
+        if self.batched_payloads_sent or self.batched_payloads_received:
+            lines.append(
+                f"Wire Batching {self.batched_payloads_sent} payloads sent / "
+                f"{self.batched_payloads_received} received in batch frames"
+            )
+        return lines
 
 
 @dataclass(frozen=True)
@@ -83,6 +100,11 @@ class DataPlaneStats:
     pool_hits: int = 0
     pool_misses: int = 0
     wire: Optional[WireStats] = None
+    #: Dependence-table fast path activity (repro.core.fastpath): lookups
+    #: served from a compiled structure, and structures compiled, during
+    #: the run (parent-process view).
+    fastpath_hits: int = 0
+    fastpath_compiles: int = 0
 
     @property
     def pool_hit_rate(self) -> float:
@@ -106,6 +128,8 @@ class DataPlaneStats:
             pool_hits=self.pool_hits + other.pool_hits,
             pool_misses=self.pool_misses + other.pool_misses,
             wire=wire,
+            fastpath_hits=self.fastpath_hits + other.fastpath_hits,
+            fastpath_compiles=self.fastpath_compiles + other.fastpath_compiles,
         )
 
     def report_lines(self) -> List[str]:
@@ -116,6 +140,11 @@ class DataPlaneStats:
             f"Pool Hit Rate {self.pool_hit_rate:.3f} "
             f"({self.pool_hits} hits, {self.pool_misses} misses)",
         ]
+        if self.fastpath_hits or self.fastpath_compiles:
+            lines.append(
+                f"Fastpath Hits {self.fastpath_hits} "
+                f"({self.fastpath_compiles} table compiles)"
+            )
         if self.wire is not None:
             lines.extend(self.wire.report_lines())
         return lines

@@ -12,19 +12,37 @@ header-then-zeros) means corruption *anywhere* in a communicated buffer is
 detected, not just in the first bytes.  Any runtime bug — a wrong dependency,
 a stale buffer, a dropped or reordered message — trips a
 :class:`ValidationError` naming the offending task and input.
+
+Validation happens on every input of every task, so this is the hottest
+path of the core library (the paper bounds validation overhead at 3%).  On
+the fast path (:mod:`repro.core.fastpath` enabled) expected patterns are
+memoized as read-only NumPy arrays built from a per-column int64 template
+with the timestep stamped in place, and ``validate_inputs`` compares a
+task's inputs against one cached concatenated block in a single bulk
+comparison instead of copying every buffer to ``bytes`` per input.  With
+the fast path disabled the original per-input loop runs unchanged.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
+
+from . import fastpath as _fastpath
 
 if TYPE_CHECKING:  # pragma: no cover
     from .task_graph import TaskGraph
 
 HEADER_BYTES = 32
+
+#: Inputs whose combined size is at most this many bytes are checked with
+#: one concatenated bulk comparison; larger payloads are compared buffer by
+#: buffer (concatenation would copy more than it saves).
+_BULK_BYTES = 1 << 16
+
+_UINT8 = np.dtype(np.uint8)
 
 
 class ValidationError(AssertionError):
@@ -41,12 +59,50 @@ def _output_bytes(seed: int, graph_index: int, t: int, i: int, nbytes: int) -> b
     full 32 bytes remain unique within a graph; graph_index and seed follow
     for cross-graph and cross-run uniqueness when the buffer is larger.
 
-    Keyed on plain ints so lookups avoid numpy construction entirely —
-    validation happens on every input of every task, so this is the hottest
-    path of the core library (the paper bounds validation overhead at 3%)."""
+    Keyed on plain ints so lookups avoid numpy construction entirely."""
     header = np.array([t, i, graph_index, seed], dtype="<i8").tobytes()
     reps = -(-nbytes // HEADER_BYTES)  # ceil division
     return (header * reps)[:nbytes]
+
+
+@lru_cache(maxsize=8192)
+def _column_template(seed: int, graph_index: int, i: int, nbytes: int) -> np.ndarray:
+    """Read-only ``(reps, 4)`` int64 header template for column ``i`` with
+    the timestep field left zero — one per (graph identity, column), shared
+    by every timestep (the dependence relation revisits the same columns
+    each timestep, the timestep is stamped per use)."""
+    reps = -(-nbytes // HEADER_BYTES)
+    tmpl = np.empty((reps, 4), dtype="<i8")
+    tmpl[:, 0] = 0
+    tmpl[:, 1] = i
+    tmpl[:, 2] = graph_index
+    tmpl[:, 3] = seed
+    tmpl.setflags(write=False)
+    return tmpl
+
+
+@lru_cache(maxsize=65536)
+def _expected_array(seed: int, graph_index: int, t: int, i: int,
+                    nbytes: int) -> np.ndarray:
+    """Read-only uint8 array of the output pattern of ``(t, i)``.
+
+    Built by stamping ``t`` into the cached column template; bit-identical
+    to :func:`_output_bytes` (the tiled little-endian header) but usable in
+    zero-copy NumPy comparisons and in-place writes.
+    """
+    stamped = _column_template(seed, graph_index, i, nbytes).copy()
+    stamped[:, 0] = t
+    return np.frombuffer(stamped.tobytes(), dtype=np.uint8)[:nbytes]
+
+
+@lru_cache(maxsize=65536)
+def _expected_block(seed: int, graph_index: int, t: int,
+                    cols: Tuple[int, ...], nbytes: int) -> bytes:
+    """Concatenated expected inputs of one task (producers ``(t, col)`` for
+    ``col`` in ``cols``) as one immutable ``bytes`` block: small-input bulk
+    validation is a single C ``memcmp`` against it."""
+    return b"".join(_output_bytes(seed, graph_index, t, c, nbytes)
+                    for c in cols)
 
 
 def task_output(graph: "TaskGraph", t: int, i: int) -> np.ndarray:
@@ -59,6 +115,8 @@ def task_output(graph: "TaskGraph", t: int, i: int) -> np.ndarray:
     nbytes = graph.output_bytes_per_task
     if nbytes == 0:
         return np.empty(0, dtype=np.uint8)
+    if _fastpath._ENABLED:
+        return _expected_array(graph.seed, graph.graph_index, t, i, nbytes).copy()
     pattern = _output_bytes(graph.seed, graph.graph_index, t, i, nbytes)
     return np.frombuffer(pattern, dtype=np.uint8).copy()
 
@@ -77,8 +135,17 @@ def write_task_output(graph: "TaskGraph", t: int, i: int, dest: np.ndarray) -> N
         )
     if nbytes == 0:
         return
+    if _fastpath._ENABLED:
+        dest[:] = _expected_array(graph.seed, graph.graph_index, t, i, nbytes)
+        return
     pattern = _output_bytes(graph.seed, graph.graph_index, t, i, nbytes)
     dest[:] = np.frombuffer(pattern, dtype=np.uint8)
+
+
+def _as_flat_uint8(buf) -> np.ndarray:
+    if type(buf) is np.ndarray and buf.dtype == np.uint8 and buf.ndim == 1:
+        return buf
+    return np.asarray(buf, dtype=np.uint8).reshape(-1)
 
 
 def validate_inputs(
@@ -93,6 +160,57 @@ def validate_inputs(
         If the number of inputs is wrong or any buffer differs from the
         expected producer output.
     """
+    if not _fastpath._ENABLED:
+        _validate_inputs_slow(graph, t, i, inputs)
+        return
+    cols = graph.dependency_columns(t, i) if t > 0 else ()
+    if len(inputs) != len(cols):
+        raise ValidationError(
+            f"task (t={t}, i={i}) of graph {graph.graph_index}: expected "
+            f"{len(cols)} inputs from columns {list(cols)}, "
+            f"got {len(inputs)}"
+        )
+    if not cols:
+        return
+    nbytes = graph.output_bytes_per_task
+    seed, gidx = graph.seed, graph.graph_index
+    if 0 < nbytes * len(cols) <= _BULK_BYTES:
+        # Small inputs: one memcmp against the cached concatenated block.
+        # ``tobytes`` on a uint8 array is a raw copy of at most _BULK_BYTES,
+        # far cheaper than per-input NumPy comparisons at this size.
+        try:
+            combined = b"".join(
+                b.tobytes()
+                if type(b) is np.ndarray and b.dtype == _UINT8
+                else _as_flat_uint8(b).tobytes()
+                for b in inputs
+            )
+        except AttributeError:  # pragma: no cover - degenerate input type
+            combined = None
+        if combined is not None and combined == _expected_block(
+            seed, gidx, t - 1, cols, nbytes
+        ):
+            return
+        # Mismatch somewhere: fall through to the per-input walk, which
+        # pinpoints the offending slot for the error message.
+        for slot, (col, buf) in enumerate(zip(cols, inputs)):
+            arr = _as_flat_uint8(buf)
+            expected = _expected_array(seed, gidx, t - 1, col, nbytes)
+            if not np.array_equal(arr, expected):
+                _raise_bad_input(graph, t, i, slot, col, arr)
+        return
+    for slot, (col, buf) in enumerate(zip(cols, inputs)):
+        arr = _as_flat_uint8(buf)
+        expected = _expected_array(seed, gidx, t - 1, col, nbytes)
+        if not np.array_equal(arr, expected):
+            _raise_bad_input(graph, t, i, slot, col, arr)
+
+
+def _validate_inputs_slow(
+    graph: "TaskGraph", t: int, i: int, inputs: Sequence[np.ndarray]
+) -> None:
+    """The original per-input loop (kept as the ``TASKBENCH_FASTPATH=0``
+    reference path, exercised by CI)."""
     expected_cols = list(graph.dependency_points(t, i)) if t > 0 else []
     if len(inputs) != len(expected_cols):
         raise ValidationError(
@@ -105,12 +223,18 @@ def validate_inputs(
         arr = np.asarray(buf, dtype=np.uint8).reshape(-1)
         expected = _output_bytes(graph.seed, graph.graph_index, t - 1, col, nbytes)
         if arr.nbytes != nbytes or arr.tobytes() != expected:
-            detail = _describe_buffer(graph, arr)
-            raise ValidationError(
-                f"task (t={t}, i={i}) of graph {graph.graph_index}: input "
-                f"slot {slot} should be the output of (t={t - 1}, i={col}) "
-                f"but {detail}"
-            )
+            _raise_bad_input(graph, t, i, slot, col, arr)
+
+
+def _raise_bad_input(
+    graph: "TaskGraph", t: int, i: int, slot: int, col: int, arr: np.ndarray
+) -> None:
+    detail = _describe_buffer(graph, arr)
+    raise ValidationError(
+        f"task (t={t}, i={i}) of graph {graph.graph_index}: input "
+        f"slot {slot} should be the output of (t={t - 1}, i={col}) "
+        f"but {detail}"
+    )
 
 
 def _describe_buffer(graph: "TaskGraph", arr: np.ndarray) -> str:

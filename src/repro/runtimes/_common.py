@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import bufpool
+from ..core import fastpath as _fastpath
 from ..core.bufpool import PayloadRef, PoolStats, SlabPool
 from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
@@ -135,6 +136,16 @@ def record_event(kind: str, task: TaskKey, source: TaskKey | None = None) -> Non
         obs(kind, task, source)
 
 
+def events_active() -> bool:
+    """Whether any schedule-event sink (recorder or observer) is installed.
+
+    Batch paths that would have to *compute* something per event — e.g.
+    re-deriving dependency columns to emit acquires — check this first so
+    the work is skipped entirely on untraced runs, where
+    :func:`record_event` alone would already no-op."""
+    return _active_recorder is not None or _event_observer is not None
+
+
 # ----------------------------------------------------------------------
 # Output capture (consumed by the executor-conformance suite)
 # ----------------------------------------------------------------------
@@ -208,8 +219,15 @@ def task_keys(graphs: Sequence[TaskGraph]) -> Iterator[TaskKey]:
 
 
 def consumer_count(g: TaskGraph, t: int, i: int) -> int:
-    """How many tasks read the output of ``(t, i)``."""
-    return sum(hi - lo + 1 for lo, hi in g.reverse_dependencies(t, i))
+    """How many tasks read the output of ``(t, i)``.
+
+    Delegates to :meth:`TaskGraph.consumer_count`, which serves the answer
+    from the compiled dependence table when the fast path is enabled —
+    historically this recomputed ``reverse_dependencies`` on every
+    ``OutputStore.put``, which dominated publish cost for fine-grained
+    graphs.
+    """
+    return g.consumer_count(t, i)
 
 
 class OutputStore:
@@ -235,14 +253,29 @@ class OutputStore:
         self._lock = threading.Lock()
         self._data: Dict[TaskKey, Tuple[bufpool.Payload, int]] = {}
 
-    def put(self, key: TaskKey, value: "bufpool.Payload", consumers: int) -> None:
-        """Store ``value`` to be read by exactly ``consumers`` tasks."""
+    def put(
+        self,
+        key: TaskKey,
+        value: "bufpool.Payload",
+        consumers: int,
+        *,
+        quiet: bool = False,
+    ) -> None:
+        """Store ``value`` to be read by exactly ``consumers`` tasks.
+
+        ``quiet=True`` registers the entry without emitting the publish
+        event or capturing the payload: the window planner of the shm
+        executor inserts handles *before* the kernels that fill them have
+        run, and surfaces publication (event + capture) itself at retire
+        time, once the bytes exist and program order can be respected.
+        """
         if consumers <= 0:
             return
         traced = trace.enabled
         t0 = trace.begin() if traced else 0
-        record_event(EV_PUBLISH, key)
-        capture_output(key, value)
+        if not quiet:
+            record_event(EV_PUBLISH, key)
+            capture_output(key, value)
         with self._lock:
             if key in self._data:
                 raise RuntimeError(f"output for task {key} stored twice")
@@ -265,17 +298,139 @@ class OutputStore:
                 self._data[key] = (value, remaining - 1)
             return value
 
-    def gather(self, g: TaskGraph, t: int, i: int) -> List["bufpool.Payload"]:
-        """Collect the inputs of task ``(t, i)`` in canonical order."""
+    def gather(
+        self, g: TaskGraph, t: int, i: int, *, quiet: bool = False
+    ) -> List["bufpool.Payload"]:
+        """Collect the inputs of task ``(t, i)`` in canonical order.
+
+        On the fast path all takes happen under one lock hold (a per-input
+        lock round-trip is measurable at empty-kernel granularity); with
+        the fast path off the original per-input ``take`` loop runs
+        unchanged as the reference.  ``quiet=True`` suppresses the acquire
+        events (see :meth:`put`): the shm window planner gathers handles
+        ahead of execution and emits the events in program order at retire.
+        """
         if t == 0:
             return []
-        consumer = (g.graph_index, t, i)
+        if quiet:
+            gi = g.graph_index
+            data = self._data
+            inputs: List["bufpool.Payload"] = []
+            with self._lock:
+                for j in g.dependency_columns(t, i):
+                    source = (gi, t - 1, j)
+                    entry = data.get(source)
+                    if entry is None:
+                        raise RuntimeError(
+                            f"output for task {source} requested but not "
+                            "produced"
+                        )
+                    value, remaining = entry
+                    if remaining == 1:
+                        del data[source]
+                    else:
+                        data[source] = (value, remaining - 1)
+                    inputs.append(value)
+            return inputs
+        if not _fastpath._ENABLED:
+            consumer = (g.graph_index, t, i)
+            inputs = []
+            for j in g.dependency_columns(t, i):
+                source = (g.graph_index, t - 1, j)
+                inputs.append(self.take(source))
+                record_event(EV_ACQUIRE, consumer, source)
+            return inputs
+        gi = g.graph_index
+        cols = g.dependency_columns(t, i)
+        data = self._data
         inputs = []
-        for j in g.dependency_points(t, i):
-            source = (g.graph_index, t - 1, j)
-            inputs.append(self.take(source))
-            record_event(EV_ACQUIRE, consumer, source)
+        with self._lock:
+            for j in cols:
+                source = (gi, t - 1, j)
+                entry = data.get(source)
+                if entry is None:
+                    raise RuntimeError(
+                        f"output for task {source} requested but not produced"
+                    )
+                value, remaining = entry
+                if remaining == 1:
+                    del data[source]
+                else:
+                    data[source] = (value, remaining - 1)
+                inputs.append(value)
+        if _active_recorder is not None or _event_observer is not None:
+            consumer = (gi, t, i)
+            for j in cols:
+                record_event(EV_ACQUIRE, consumer, (gi, t - 1, j))
         return inputs
+
+    def gather_batch(
+        self, graphs: Dict[int, TaskGraph], keys: Sequence[TaskKey]
+    ) -> List[List["bufpool.Payload"]]:
+        """Collect the inputs of several *ready* tasks under one lock hold.
+
+        The fast-path batch twin of :meth:`gather`: every key's producers
+        have already published (the scheduler only batches ready tasks), so
+        no take can fail to find its source mid-batch.  Start/acquire
+        events are emitted after the lock, in per-task program order.
+        """
+        results: List[List["bufpool.Payload"]] = []
+        with self._lock:
+            data = self._data
+            for gi, t, i in keys:
+                if t == 0:
+                    results.append([])
+                    continue
+                g = graphs[gi]
+                inputs = []
+                for j in g.dependency_columns(t, i):
+                    source = (gi, t - 1, j)
+                    entry = data.get(source)
+                    if entry is None:
+                        raise RuntimeError(
+                            f"output for task {source} requested but not "
+                            "produced"
+                        )
+                    value, remaining = entry
+                    if remaining == 1:
+                        del data[source]
+                    else:
+                        data[source] = (value, remaining - 1)
+                    inputs.append(value)
+                results.append(inputs)
+        if _active_recorder is not None or _event_observer is not None:
+            for (gi, t, i), inputs in zip(keys, results):
+                key = (gi, t, i)
+                record_event(EV_START, key)
+                if t > 0:
+                    for j in graphs[gi].dependency_columns(t, i):
+                        record_event(EV_ACQUIRE, key, (gi, t - 1, j))
+        return results
+
+    def put_batch(
+        self,
+        items: Sequence[Tuple[TaskKey, "bufpool.Payload", int]],
+    ) -> None:
+        """Store several ``(key, value, consumers)`` outputs under one lock
+        hold (zero-consumer entries are skipped, as in :meth:`put`)."""
+        items = [entry for entry in items if entry[2] > 0]
+        if not items:
+            return
+        traced = trace.enabled
+        t0 = trace.begin() if traced else 0
+        for key, value, _consumers in items:
+            record_event(EV_PUBLISH, key)
+            capture_output(key, value)
+        with self._lock:
+            data = self._data
+            for key, value, consumers in items:
+                if key in data:
+                    raise RuntimeError(f"output for task {key} stored twice")
+                data[key] = (value, consumers)
+        if traced:
+            trace.complete(
+                "publish", trace.CAT_PUBLISH, t0, {"tasks": len(items)}
+            )
 
     def assert_drained(self) -> None:
         """Raise if any outputs were produced but never fully consumed."""
@@ -299,20 +454,38 @@ class ScratchPool:
 
     def __init__(self, graphs: Sequence[TaskGraph]) -> None:
         self._graphs = {g.graph_index: g for g in graphs}
+        self._no_scratch = all(
+            g.scratch_bytes_per_task == 0 for g in graphs
+        )
         self._lock = threading.Lock()
         self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+        # Per-thread memo of the shared table: after the first (graph,
+        # column) touch, steady-state lookups are a lock-free dict hit in
+        # the calling thread (columns are re-visited every timestep, so
+        # this removes one lock acquire per task).
+        self._tls = threading.local()
 
     def get(self, graph_index: int, column: int) -> np.ndarray | None:
+        if self._no_scratch:
+            return None
         g = self._graphs[graph_index]
         if g.scratch_bytes_per_task == 0:
             return None
         key = (graph_index, column)
+        try:
+            memo = self._tls.memo
+        except AttributeError:
+            memo = self._tls.memo = {}
+        buf = memo.get(key)
+        if buf is not None:
+            return buf
         with self._lock:
             buf = self._buffers.get(key)
             if buf is None:
                 buf = g.prepare_scratch()
                 self._buffers[key] = buf
-            return buf
+        memo[key] = buf
+        return buf
 
 
 def run_point(
@@ -362,10 +535,87 @@ def run_point(
     else:
         pool.decref(ref)
     # Reading is done: drop this consumer's reference on every pooled input
-    # so fully-read slots recycle.
+    # so fully-read slots recycle (one lock hold for all of them on the
+    # fast path; the per-input loop is the reference behavior).
+    if _fastpath._ENABLED:
+        drops = [value for value in inputs if type(value) is PayloadRef]
+        if drops:
+            pool.decref_batch(drops)
+        return
     for value in inputs:
         if isinstance(value, PayloadRef):
             pool.decref(value)
+
+
+def run_point_batch(
+    store: OutputStore,
+    scratch: ScratchPool,
+    graphs: Dict[int, TaskGraph],
+    keys: Sequence[TaskKey],
+    *,
+    validate: bool,
+    pool: SlabPool,
+) -> List[Tuple[TaskGraph, int, int]]:
+    """Fast-path fusion of :func:`run_point` over a batch of ready tasks.
+
+    Every task in ``keys`` is ready (all inputs published), so the batch's
+    data-plane traffic can be coalesced: one pool lock hold acquires all
+    output slots (per size class), one store lock hold publishes all
+    outputs, and one pool lock hold drops every consumed input reference.
+    Per-task semantics — event order, validation, trace spans — match
+    ``run_point`` exactly.  Returns ``(graph, t, i)`` completion tuples for
+    the scheduler.
+    """
+    inputs_list = store.gather_batch(graphs, keys)
+    metas = []
+    single_graph = True
+    g0 = graphs[keys[0][0]]
+    for key, inputs in zip(keys, inputs_list):
+        gi, t, i = key
+        g = graphs[gi]
+        if g is not g0:
+            single_graph = False
+        metas.append((g, t, i, key, inputs, g.consumer_count(t, i)))
+    if single_graph:
+        out_refs: List[PayloadRef | None] = pool.acquire_batch(
+            g0.output_bytes_per_task, [max(m[5], 1) for m in metas]
+        )
+    else:
+        out_refs = [None] * len(metas)
+        by_size: Dict[int, List[int]] = {}
+        for idx, meta in enumerate(metas):
+            by_size.setdefault(meta[0].output_bytes_per_task, []).append(idx)
+        for nbytes, idxs in by_size.items():
+            got = pool.acquire_batch(
+                nbytes, [max(metas[j][5], 1) for j in idxs]
+            )
+            for j, ref in zip(idxs, got):
+                out_refs[j] = ref
+    traced = trace.enabled
+    puts: List[Tuple[TaskKey, PayloadRef, int]] = []
+    drops: List[PayloadRef] = []
+    done: List[Tuple[TaskGraph, int, int]] = []
+    for (g, t, i, key, inputs, consumers), ref in zip(metas, out_refs):
+        t0 = trace.begin() if traced else 0
+        g.execute_point(
+            t, i, inputs, scratch=scratch.get(g.graph_index, i),
+            validate=validate, out=ref,
+        )
+        if traced:
+            trace.complete("task", trace.CAT_KERNEL, t0, {"task": key})
+        record_event(EV_FINISH, key)
+        if consumers > 0:
+            puts.append((key, ref, consumers))
+        else:
+            drops.append(ref)
+        for value in inputs:
+            if type(value) is PayloadRef:
+                drops.append(value)
+        done.append((g, t, i))
+    store.put_batch(puts)
+    if drops:
+        pool.decref_batch(drops)
+    return done
 
 
 def pool_data_plane(

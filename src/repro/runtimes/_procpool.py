@@ -227,6 +227,11 @@ class ForkWorkerPool:
                 self._mark_dead(w)
         return sorted(self._dead)
 
+    @property
+    def pids(self) -> List[int]:
+        """Current pid of each worker slot (respawns change these)."""
+        return [p.pid for p in self._procs]
+
     def heal(self, *, initargs: Tuple[Any, ...] | None = None) -> int:
         """Respawn every dead worker in place; returns how many were.
 
@@ -358,7 +363,7 @@ class ForkWorkerPool:
             if status == "error":
                 exc, tb = payload
                 exc.add_note(f"worker {w} traceback:\n{tb}")
-                failure = failure or exc
+                failure = self._prefer_failure(failure, exc)
             else:
                 for k, value in zip(order[w], payload[0]):
                     results[k] = value
@@ -369,6 +374,77 @@ class ForkWorkerPool:
             # cost METG probes pay on the process executors.
             trace.complete(
                 "pool.round", trace.CAT_DISPATCH, t0, {"chunks": len(chunks)}
+            )
+        return results
+
+    @staticmethod
+    def _prefer_failure(
+        current: BaseException | None, exc: BaseException
+    ) -> BaseException:
+        """Pick the round's failure to re-raise: the first *primary* error.
+
+        Workers that synchronize among themselves mid-round (the shm
+        window barrier) raise marker errors (``secondary_error = True``)
+        when a *peer* failed; reporting order is worker order, so without
+        this preference a bystander's "peer aborted" could mask the actual
+        root cause raised by a later-numbered worker.
+        """
+        if current is None:
+            return exc
+        if getattr(current, "secondary_error", False) and not getattr(
+            exc, "secondary_error", False
+        ):
+            return exc
+        return current
+
+    def run_assigned(self, frames: Sequence[Sequence[Any]]) -> List[List[Any]]:
+        """Execute pre-assigned per-worker frames; a barrier.
+
+        ``frames[w]`` is the chunk list shipped to worker ``w`` (an empty
+        list skips the worker this round); the return value is one result
+        list per worker, aligned with ``frames``.  This is the batched
+        round dispatch used by the hot path: the executor builds each
+        worker's whole round up front, so a round costs exactly one send
+        and one receive per participating worker and no result remapping —
+        :meth:`run_round` keeps the chunk-interleaved protocol for callers
+        that want the pool to do the assignment.
+
+        Failure semantics match :meth:`run_round`: a crash or missed
+        deadline drains the surviving workers and raises a typed error,
+        leaving the pool healable.
+        """
+        self._ensure_open()
+        if len(frames) != self.workers:
+            raise ValueError(
+                f"expected {self.workers} frames, got {len(frames)}"
+            )
+        t0 = trace.begin() if trace.enabled else 0
+        frames = [list(f) for f in frames]
+        active = [w for w in range(self.workers) if frames[w]]
+        self._send(active, frames)
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        results: List[List[Any]] = [[] for _ in range(self.workers)]
+        failure: BaseException | None = None
+        for pos, w in enumerate(active):
+            try:
+                status, *payload = self._recv(w, deadline)
+            except (WorkerCrashError, WorkerTimeoutError):
+                self._drain(active[pos + 1:], deadline)
+                raise
+            if status == "error":
+                exc, tb = payload
+                exc.add_note(f"worker {w} traceback:\n{tb}")
+                failure = self._prefer_failure(failure, exc)
+            else:
+                results[w] = payload[0]
+        if failure is not None:
+            raise failure
+        if t0:
+            trace.complete(
+                "pool.round", trace.CAT_DISPATCH, t0,
+                {"chunks": sum(len(f) for f in frames)},
             )
         return results
 
@@ -400,7 +476,7 @@ class ForkWorkerPool:
             if status == "error":
                 exc, tb = payload
                 exc.add_note(f"worker {w} traceback:\n{tb}")
-                failure = failure or exc
+                failure = self._prefer_failure(failure, exc)
             else:
                 out[w] = payload[0]
         if failure is not None:

@@ -33,6 +33,7 @@ from typing import Any, Callable, ClassVar, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core import fastpath as _fastpath
 from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats, FaultStats
 from ..core.task_graph import TaskGraph
@@ -302,6 +303,9 @@ class ProcessPoolExecutor(_PhasedProcessExecutor):
     chunk_fn = staticmethod(_worker_chunk)
 
     def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
+        if _fastpath.enabled():
+            self._execute_batched(graphs, validate)
+            return
         store = OutputStore()
         bytes_copied = 0
         payloads_copied = 0
@@ -334,6 +338,50 @@ class ProcessPoolExecutor(_PhasedProcessExecutor):
                     bytes_copied += out.nbytes
                     payloads_copied += 1
                     store.put((gi, t, i), out, consumer_count(g, t, i))
+        self._drain_worker_traces(procs)
+        store.assert_drained()
+        self._data_plane = DataPlaneStats(
+            bytes_copied=bytes_copied, payloads_copied=payloads_copied
+        )
+
+    def _execute_batched(
+        self, graphs: Sequence[TaskGraph], validate: bool
+    ) -> None:
+        """Fast-path round dispatch: each worker's whole round is built as
+        one frame (all of its chunks across every graph), shipped with
+        :meth:`ForkWorkerPool.run_assigned` — one send and one receive per
+        worker per timestep with no result remapping."""
+        store = OutputStore()
+        bytes_copied = 0
+        payloads_copied = 0
+        max_t = max(g.timesteps for g in graphs)
+        procs = self._sync_workers(graphs)
+        nw = self.workers
+        for t in range(max_t):
+            frames: List[List[Any]] = [[] for _ in range(nw)]
+            frame_graphs: List[List[TaskGraph]] = [[] for _ in range(nw)]
+            for g in graphs:
+                if t >= g.timesteps:
+                    continue
+                off = g.offset_at_timestep(t)
+                active = list(range(off, off + g.width_at_timestep(t)))
+                for w, cols in enumerate(_split(active, nw)):
+                    inputs = [store.gather(g, t, i) for i in cols]
+                    for bufs in inputs:
+                        for buf in bufs:
+                            bytes_copied += buf.nbytes
+                            payloads_copied += 1
+                    frames[w].append((g.graph_index, t, cols, inputs, validate))
+                    frame_graphs[w].append(g)
+            for w, frame_results in enumerate(procs.run_assigned(frames)):
+                for g, results in zip(frame_graphs[w], frame_results):
+                    gi = g.graph_index
+                    for i, out in results:
+                        record_event(EV_START, (gi, t, i))
+                        record_event(EV_FINISH, (gi, t, i))
+                        bytes_copied += out.nbytes
+                        payloads_copied += 1
+                        store.put((gi, t, i), out, consumer_count(g, t, i))
         self._drain_worker_traces(procs)
         store.assert_drained()
         self._data_plane = DataPlaneStats(

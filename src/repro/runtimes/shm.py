@@ -34,22 +34,34 @@ zero live slots — a per-run leak check on the refcounting protocol.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
+import os
+import time
 import weakref
-from typing import List, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
+from ..core import fastpath as _fastpath
 from ..core.bufpool import (
     PayloadRef,
     SharedMemorySlabPool,
+    _attach_untracked,
     sweep_orphaned_segments,
 )
 from ..core.task_graph import TaskGraph
 from ..trace import recorder as trace
 from ._common import (
+    EV_ACQUIRE,
     EV_FINISH,
+    EV_PUBLISH,
     EV_START,
     OutputStore,
+    capture_output,
     consumer_count,
+    events_active,
     pool_data_plane,
     record_event,
 )
@@ -64,8 +76,22 @@ from .processes import (
 #: handles, per-column output handles, validate).
 _Chunk = Tuple[int, int, List[int], List[List[PayloadRef]], List[PayloadRef], bool]
 
+#: Window-frame tag: distinguishes a multi-timestep fast-path frame from a
+#: legacy chunk (whose first element is an int graph index).
+_WINDOW = "__window__"
 
-def _shm_worker_chunk(args: _Chunk) -> int:
+#: Barrier sentinel a worker publishes when its part of a window fails, so
+#: peers waiting on it abort within one poll instead of spinning forever.
+_ABORT = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Upper bounds on one dispatch window: timesteps per frame, and bytes of
+#: task output that must stay live until the window's barrier (the parent
+#: cannot recycle any slot while workers are inside the window).
+_WINDOW_MAX_STEPS = 32
+_WINDOW_MAX_BYTES = 4 << 20
+
+
+def _run_chunk(args: _Chunk) -> int:
     """Execute a chunk of columns of one (graph, timestep) in a worker.
 
     Inputs arrive as pool handles (resolved — and generation-checked —
@@ -86,6 +112,135 @@ def _shm_worker_chunk(args: _Chunk) -> int:
     return len(columns)
 
 
+def _shm_worker_chunk(args) -> int:
+    """Worker entry point: a legacy single-timestep chunk, or a fast-path
+    window frame (several timesteps separated by shared-memory barriers)."""
+    if args[0] == _WINDOW:
+        return _run_window(args)
+    return _run_chunk(args)
+
+
+#: Worker-side cache of attached barrier segments: name -> [segment, view].
+_BARRIERS: Dict[str, List] = {}
+
+
+def _close_barrier_views() -> None:
+    """Release cached barrier attachments (worker ``atexit``): the numpy
+    views must drop before the segments close, or interpreter shutdown
+    tears them down in arbitrary order and ``SharedMemory.__del__``
+    complains about exported buffers."""
+    for entry in _BARRIERS.values():
+        entry[1] = None
+        try:
+            entry[0].close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+    _BARRIERS.clear()
+
+
+atexit.register(_close_barrier_views)
+
+
+def _barrier_view(name: str) -> np.ndarray:
+    entry = _BARRIERS.get(name)
+    if entry is None:
+        seg = _attach_untracked(name)
+        entry = [seg, np.frombuffer(seg.buf, dtype="<u8")]
+        _BARRIERS[name] = entry
+    return entry[1]
+
+
+class WindowAbortError(RuntimeError):
+    """A peer worker failed mid-window; this worker aborted in sympathy.
+
+    ``secondary_error`` tells the pool's failure selection that this is a
+    bystander report: the peer's own exception (shipped on its pipe) is
+    the root cause to surface.
+    """
+
+    secondary_error = True
+
+
+def _await_peers(counters: np.ndarray, others, target: int) -> None:
+    """Wait until every peer's progress counter reaches ``target``.
+
+    The wait yields the CPU (``sched_yield`` first, then short sleeps):
+    with workers packed onto few cores a busy spin would starve the very
+    peer being waited for.  A peer that published :data:`_ABORT` (its
+    timestep raised) aborts this worker too, and every ~250 ms laggard
+    peers are liveness-checked by pid so a crashed process is detected
+    without waiting for the pool's round deadline.
+    """
+    spins = 0
+    next_liveness = time.monotonic() + 0.25
+    while True:
+        laggard = False
+        for w, pid in others:
+            c = counters[w]
+            if c == _ABORT:
+                raise WindowAbortError(
+                    f"shared-memory window aborted by peer worker {w}"
+                )
+            if c < target:
+                laggard = True
+        if not laggard:
+            return
+        spins += 1
+        if spins < 200:
+            os.sched_yield()
+        else:
+            time.sleep(50e-6)
+        if time.monotonic() >= next_liveness:
+            for w, pid in others:
+                if counters[w] < target:
+                    try:
+                        os.kill(pid, 0)
+                    except ProcessLookupError:
+                        raise WindowAbortError(
+                            f"peer worker {w} (pid {pid}) died inside a "
+                            "shared-memory window"
+                        ) from None
+            next_liveness = time.monotonic() + 0.25
+
+
+def _run_window(args) -> int:
+    """Execute one worker's share of a multi-timestep window.
+
+    ``steps`` holds this worker's chunks for each timestep of the window.
+    After each timestep the worker publishes its progress in the shared
+    barrier segment and waits for every participant, because the next
+    timestep's inputs may be slots a *peer* just wrote.  Only the final
+    timestep skips the wait — the reply to the parent is that barrier.
+    """
+    _tag, name, my_w, participants, steps = args
+    counters = _barrier_view(name)
+    others = [(w, pid) for w, pid in participants if w != my_w]
+    done = 0
+    last = len(steps)
+    try:
+        for k, chunks in enumerate(steps, start=1):
+            for chunk in chunks:
+                done += _run_chunk(chunk)
+            counters[my_w] = k
+            if k < last and others:
+                _await_peers(counters, others, k)
+    except BaseException:
+        counters[my_w] = _ABORT
+        raise
+    return done
+
+
+def _unlink_barrier(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - view still exported
+        pass
+
+
 class ShmProcessPoolExecutor(_PhasedProcessExecutor):
     """Timestep-phased multiprocessing with payloads in shared-memory slabs."""
 
@@ -95,12 +250,16 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
     def __init__(self, workers: int = 2, **kwargs) -> None:
         super().__init__(workers, **kwargs)
         self._buffers: SharedMemorySlabPool | None = None
+        self._barrier_seg: shared_memory.SharedMemory | None = None
 
     def close(self) -> None:
         super().close()
         if self._buffers is not None:
             self._buffers.close()
             self._buffers = None
+        if self._barrier_seg is not None:
+            _unlink_barrier(self._barrier_seg)
+            self._barrier_seg = None
 
     def _recover(self) -> None:
         """After a supervised worker failure: reclaim every slot the
@@ -122,8 +281,30 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
         self._buffers = buffers
         # Unlink the segments even if the executor is never close()d.
         weakref.finalize(self, SharedMemorySlabPool.close, buffers)
+        # Window-barrier segment: one uint64 progress counter per worker,
+        # reset by the parent between windows (workers are quiescent then).
+        # The parent only ever writes through short-lived views (see
+        # ``_execute_batched``) so the segment can close without a
+        # dangling buffer export.
+        # Not a payload buffer: 8 bytes of control plane per worker, so a
+        # slab pool (slot refcounts, generation tags) would be pure
+        # overhead here.
+        seg = shared_memory.SharedMemory(  # check: allow[raw-shm]
+            create=True, size=8 * self.workers
+        )
+        self._barrier_seg = seg
+        np.frombuffer(seg.buf, dtype="<u8")[:] = 0
+        weakref.finalize(self, _unlink_barrier, seg)
 
     def _execute(self, graphs: Sequence[TaskGraph], validate: bool) -> None:
+        # Window dispatch is off while a fault is armed: injected faults
+        # address (worker, round) under the one-round-per-timestep
+        # protocol, and the supervision contract they test — one wedged
+        # worker costs one probe — assumes rounds are independent, which
+        # barrier-coupled window peers are not.
+        if _fastpath.enabled() and self.fault is None:
+            self._execute_batched(graphs, validate)
+            return
         store = OutputStore()
         max_t = max(g.timesteps for g in graphs)
         procs = self._sync_workers(graphs)
@@ -168,6 +349,153 @@ class ShmProcessPoolExecutor(_PhasedProcessExecutor):
                 # inputs is complete, so the consumers' references drop
                 # and fully-read slots recycle.
                 pool.decref_batch(ref for refs in in_refs for ref in refs)
+        self._drain_worker_traces(procs)
+        store.assert_drained()
+        if pool.live_slots:
+            raise RuntimeError(
+                f"data-plane leak: {pool.live_slots} slots still live after "
+                "the run drained"
+            )
+        self._data_plane = pool_data_plane(pool, base=stats_base)
+
+    def _window_steps(self, graphs: Sequence[TaskGraph]) -> int:
+        """Timesteps per dispatch window.
+
+        Bounded by :data:`_WINDOW_MAX_BYTES` of live output slots (the
+        parent can recycle nothing while workers are inside a window) and
+        :data:`_WINDOW_MAX_STEPS`.
+        """
+        per_step = sum(
+            max(g.output_bytes_per_task, 1) * g.max_width for g in graphs
+        )
+        return max(1, min(_WINDOW_MAX_STEPS, _WINDOW_MAX_BYTES // per_step))
+
+    def _execute_batched(
+        self, graphs: Sequence[TaskGraph], validate: bool
+    ) -> None:
+        """Fast-path window dispatch: several timesteps per round trip.
+
+        Because every payload lives in a parent-assigned shared-memory
+        slot, the whole schedule of a window — which slots each task reads
+        and writes — is known before any task runs.  The parent therefore
+        plans ``K`` timesteps up front (gathering input handles and
+        acquiring output slots against its bookkeeping store), ships each
+        worker ONE frame holding its chunks for all ``K`` timesteps, and
+        lets the workers synchronize timestep boundaries among themselves
+        through the shared barrier segment (:func:`_run_window`).  A round
+        trip through the parent — two pickles, two pipe writes, and at
+        least four scheduler wakeups — is paid once per window instead of
+        once per timestep, which is most of the empty-kernel overhead gap
+        this executor had against the thread pool.
+
+        The legacy path (:meth:`_execute`) keeps the one-round-per-timestep
+        protocol and remains the ``TASKBENCH_FASTPATH=0`` reference.
+        """
+        store = OutputStore()
+        max_t = max(g.timesteps for g in graphs)
+        procs = self._sync_workers(graphs)
+        pool = self._buffers
+        barrier_seg = self._barrier_seg
+        assert pool is not None and barrier_seg is not None
+        stats_base = dataclasses.replace(pool.stats)
+        nw = self.workers
+        by_index = {g.graph_index: g for g in graphs}
+        window = self._window_steps(graphs)
+        #: Retirement plan of one timestep: (timestep, per-task
+        #: (key, output ref, consumer count) in event order, gathered
+        #: input refs).
+        Retire = Tuple[
+            int,
+            List[Tuple[Tuple[int, int, int], PayloadRef, int]],
+            List[PayloadRef],
+        ]
+        for t0 in range(0, max_t, window):
+            t_end = min(t0 + window, max_t)
+            nsteps = t_end - t0
+            steps: List[List[List[_Chunk]]] = [
+                [[] for _ in range(nsteps)] for _ in range(nw)
+            ]
+            busy = [False] * nw
+            retire: List[Retire] = []
+            for t in range(t0, t_end):
+                tasks: List[Tuple[Tuple[int, int, int], PayloadRef, int]] = []
+                gathered: List[PayloadRef] = []
+                for g in graphs:
+                    if t >= g.timesteps:
+                        continue
+                    off = g.offset_at_timestep(t)
+                    active = list(range(off, off + g.width_at_timestep(t)))
+                    gi = g.graph_index
+                    for w, cols in enumerate(_split(active, nw)):
+                        if not cols:
+                            continue
+                        # Quiet store traffic: the entries must exist so
+                        # later timesteps of this window can gather from
+                        # them, but the kernels have not run yet — events
+                        # and output capture happen at retire, below.
+                        in_refs = [
+                            store.gather(g, t, i, quiet=True) for i in cols
+                        ]
+                        consumers = [consumer_count(g, t, i) for i in cols]
+                        out_refs = pool.acquire_batch(
+                            g.output_bytes_per_task,
+                            [max(c, 1) for c in consumers],
+                        )
+                        steps[w][t - t0].append(
+                            (gi, t, cols, in_refs, out_refs, validate)
+                        )
+                        busy[w] = True
+                        for i, out, ncons in zip(cols, out_refs, consumers):
+                            tasks.append(((gi, t, i), out, ncons))
+                            if ncons > 0:
+                                store.put((gi, t, i), out, ncons, quiet=True)
+                        for refs in in_refs:
+                            gathered.extend(refs)
+                retire.append((t, tasks, gathered))
+            participants = tuple(
+                (w, pid)
+                for w, pid in enumerate(procs.pids)
+                if busy[w]
+            )
+            # Workers are quiescent between windows; the view is transient
+            # so the segment keeps no parent-side buffer export.
+            np.frombuffer(barrier_seg.buf, dtype="<u8")[:] = 0
+            frames: List[List] = [
+                [(_WINDOW, barrier_seg.name, w, participants, steps[w])]
+                if busy[w] else []
+                for w in range(nw)
+            ]
+            procs.run_assigned(frames)
+            emit = events_active()
+            for t, tasks, gathered in retire:
+                for key, out, ncons in tasks:
+                    # Kernels ran in worker processes; their schedule
+                    # events are surfaced here, after the window barrier —
+                    # the earliest point the trace can order them — in
+                    # program order (acquire inputs, start, finish,
+                    # publish), one timestep after another.
+                    if emit:
+                        gi, _t, i = key
+                        if t > 0:
+                            g = by_index[gi]
+                            for j in g.dependency_columns(t, i):
+                                record_event(
+                                    EV_ACQUIRE, key, (gi, t - 1, j)
+                                )
+                        record_event(EV_START, key)
+                        record_event(EV_FINISH, key)
+                        if ncons > 0:
+                            record_event(EV_PUBLISH, key)
+                    if ncons > 0:
+                        # The buffer now holds the kernel's output: this is
+                        # the publish point the conformance capture sees.
+                        capture_output(key, out)
+                    else:
+                        pool.decref(out)
+                # Window barrier passed: every worker read of this window's
+                # inputs is complete, so the consumers' references drop and
+                # fully-read slots recycle.
+                pool.decref_batch(gathered)
         self._drain_worker_traces(procs)
         store.assert_drained()
         if pool.live_slots:

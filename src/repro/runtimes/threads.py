@@ -11,14 +11,22 @@ from __future__ import annotations
 
 import collections
 import threading
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from ..core import fastpath as _fastpath
 from ..core.bufpool import HeapSlabPool
 from ..core.executor_base import Executor
 from ..core.metrics import DataPlaneStats
 from ..core.task_graph import TaskGraph
 from ..trace import recorder as trace
-from ._common import OutputStore, ScratchPool, TaskKey, pool_data_plane, run_point
+from ._common import (
+    OutputStore,
+    ScratchPool,
+    TaskKey,
+    pool_data_plane,
+    run_point,
+    run_point_batch,
+)
 
 
 class DependencyCountingScheduler:
@@ -32,15 +40,18 @@ class DependencyCountingScheduler:
         self.pending: Dict[TaskKey, int] = {}
         self.remaining = 0
         self.error: BaseException | None = None
+        ready = self.ready
+        pending = self.pending
         for g in graphs:
-            for t, i in g.points():
-                key = (g.graph_index, t, i)
-                ndeps = g.num_dependencies(t, i)
-                self.remaining += 1
-                if ndeps == 0:
-                    self.ready.append(key)
-                else:
-                    self.pending[key] = ndeps
+            gi = g.graph_index
+            for t in range(g.timesteps):
+                off, counts = g.dependency_count_row(t)
+                self.remaining += len(counts)
+                for k, ndeps in enumerate(counts):
+                    if ndeps == 0:
+                        ready.append((gi, t, off + k))
+                    else:
+                        pending[(gi, t, off + k)] = ndeps
 
     def next_task(self) -> TaskKey | None:
         """Block until a task is ready; ``None`` when the DAG is complete.
@@ -74,6 +85,64 @@ class DependencyCountingScheduler:
                     self.pending[key] = left
             self.ready_cv.notify_all()
 
+    # -- fast-path batched variants ------------------------------------
+    #: Cap on tasks claimed per lock acquisition: bounds the scheduling
+    #: latency a slow batch can impose on newly-ready consumers.
+    MAX_CLAIM = 8
+
+    def next_batch(self, share: int) -> List[TaskKey] | None:
+        """Claim up to ``1/share`` of the ready queue in one lock
+        acquisition (at least one task); ``None`` when the DAG is done.
+
+        The fast-path worker loop uses this instead of :meth:`next_task`
+        to amortize the lock/condition overhead over several tasks — the
+        thread-pool analogue of the fork pool's batched round dispatch.
+        Claiming only a share of the queue keeps the remainder available
+        to other workers, so parallelism is preserved whenever the ready
+        set is wider than the pool.
+        """
+        with self.ready_cv:
+            while True:
+                if self.error is not None:
+                    raise self.error
+                ready = self.ready
+                if ready:
+                    n = len(ready) // share
+                    if n < 1:
+                        n = 1
+                    elif n > self.MAX_CLAIM:
+                        n = self.MAX_CLAIM
+                    popleft = ready.popleft
+                    return [popleft() for _ in range(n)]
+                if self.remaining == 0:
+                    return None
+                self.ready_cv.wait()
+
+    def complete_batch(self, done: Sequence[Tuple[TaskGraph, int, int]]) -> None:
+        """Record a claimed batch's completions under one lock acquisition,
+        waking only as many workers as tasks became ready (a completion
+        that releases nothing wakes nobody)."""
+        with self.ready_cv:
+            pending = self.pending
+            ready = self.ready
+            newly = 0
+            self.remaining -= len(done)
+            for g, t, i in done:
+                gi = g.graph_index
+                for j in g.reverse_dependency_columns(t, i):
+                    key = (gi, t + 1, j)
+                    left = pending[key] - 1
+                    if left == 0:
+                        del pending[key]
+                        ready.append(key)
+                        newly += 1
+                    else:
+                        pending[key] = left
+            if self.remaining == 0:
+                self.ready_cv.notify_all()
+            elif newly:
+                self.ready_cv.notify(newly)
+
     def fail(self, exc: BaseException) -> None:
         with self.ready_cv:
             if self.error is None:
@@ -106,8 +175,32 @@ class ThreadPoolTaskExecutor(Executor):
         # recycle across timesteps instead of being reallocated per task.
         buffers = HeapSlabPool()
 
+        use_batches = _fastpath.enabled()
+        share = self.workers
+
         def worker() -> None:
             try:
+                if use_batches:
+                    # Fast path: claim/retire several ready tasks per lock
+                    # acquisition instead of one, fuse the batch's data-plane
+                    # lock traffic (run_point_batch), and let complete_batch
+                    # wake only as many workers as tasks became ready.  The
+                    # legacy one-task loop below stays the reference
+                    # implementation.
+                    graphs_by_index = sched.graphs
+                    while True:
+                        t0 = trace.begin() if trace.enabled else 0
+                        keys = sched.next_batch(share)
+                        if t0:
+                            trace.complete("sched.wait", trace.CAT_SCHED, t0)
+                        if keys is None:
+                            return
+                        done = run_point_batch(
+                            store, scratch, graphs_by_index, keys,
+                            validate=validate, pool=buffers,
+                        )
+                        sched.complete_batch(done)
+                    return
                 while True:
                     t0 = trace.begin() if trace.enabled else 0
                     key = sched.next_task()
